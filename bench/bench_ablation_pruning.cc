@@ -1,0 +1,89 @@
+// Ablation (not a paper figure): what each DP optimization of Sec. 5.3/5.4
+// contributes, measured separately on data with few and many gaps.
+//
+//   plain        — basic DP scheme (Sec. 5.1) with O(p) run-SSE
+//   +early break — Jagadish-style monotone break of the inner loop
+//   +pruning     — gap-derived imax / jmin bounds
+//   full PTAc    — both optimizations
+//
+// DESIGN.md §3 lists this harness as the design-choice ablation.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "datasets/synthetic.h"
+#include "pta/dp.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pta;
+
+struct Config {
+  const char* name;
+  bool pruning;
+  bool early_break;
+};
+
+constexpr Config kConfigs[] = {
+    {"plain DP", false, false},
+    {"+early break", false, true},
+    {"+pruning", true, false},
+    {"full PTAc", true, true},
+};
+
+void RunCase(const char* title, const SequentialRelation& rel, size_t c) {
+  std::printf("%s (n = %zu, cmin = %zu, c = %zu)\n\n", title, rel.size(),
+              rel.CMin(), c);
+  TablePrinter table({"Configuration", "time [s]", "inner iterations",
+                      "vs plain"});
+  double plain_time = 0.0;
+  for (const Config& config : kConfigs) {
+    DpOptions options;
+    options.use_pruning = config.pruning;
+    options.use_early_break = config.early_break;
+    DpStats stats;
+    Stopwatch watch;
+    auto red = ReduceToSizeDp(rel, c, options, &stats);
+    const double elapsed = watch.ElapsedSeconds();
+    PTA_CHECK_MSG(red.ok(), red.status().message().c_str());
+    if (config.name[0] == 'p') plain_time = elapsed;
+    table.AddRow({config.name, TablePrinter::Fmt(elapsed, 3),
+                  TablePrinter::Fmt(stats.inner_iterations),
+                  plain_time > 0 && elapsed > 0
+                      ? TablePrinter::Fmt(plain_time / elapsed, 1) + "x"
+                      : "-"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  using namespace pta;
+  bench::PrintHeader("Ablation — DP optimizations of Sec. 5.3/5.4",
+                     "design-choice ablation (DESIGN.md §3)");
+
+  const size_t n = bench::Scaled(3000);
+
+  RunCase("no gaps (pruning has nothing to cut)",
+          GenerateSyntheticSequential(1, n, 4, 11), std::max<size_t>(1, n / 10));
+
+  RunCase("few gaps (20 runs)",
+          GenerateSyntheticWithGaps(n, 4, 19, 12),
+          std::max<size_t>(20, n / 10));
+
+  const size_t groups = std::max<size_t>(1, n / 20);
+  RunCase("many groups (one run per 20 tuples)",
+          GenerateSyntheticSequential(groups, 20, 4, 13),
+          std::max(groups, n / 10));
+
+  std::printf(
+      "takeaway: the early break already pays on gap-free data; the "
+      "imax/jmin bounds\nturn grouped workloads from quadratic into "
+      "near-linear, which is what makes the\nexact algorithms usable on "
+      "real (grouped, gappy) temporal relations.\n");
+  return 0;
+}

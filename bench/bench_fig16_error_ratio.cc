@@ -1,0 +1,182 @@
+// Fig. 16: average error ratio for different datasets.
+//
+// For every evaluation query the harness averages, over a range of size
+// bounds c, the ratio between each algorithm's error and the PTAc optimum
+// at the same size (log scale in the paper), with the standard error of the
+// mean. Time-series methods (APCA, DWT, PAA, Chebyshev) only apply to
+// single-group, gap-free data (E1-E3, T1, T2); grouped/gappy queries show
+// "-" as in the paper's omitted bars. E4 uses gPTAc as the baseline, as in
+// the paper (the dataset is too large for the DP).
+//
+// Paper shape: gPTAc consistently closest to 1; ATC second but erratic;
+// APCA/DWT/PAA/Chebyshev an order of magnitude (or more) off on temporal
+// data, closer on the pure time series T1/T2.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/apca.h"
+#include "baselines/atc.h"
+#include "baselines/chebyshev.h"
+#include "baselines/dwt.h"
+#include "baselines/paa.h"
+#include "baselines/series.h"
+#include "bench_util.h"
+#include "core/ita.h"
+#include "datasets/etds.h"
+#include "datasets/incumbents.h"
+#include "datasets/timeseries.h"
+#include "pta/dp.h"
+#include "pta/greedy.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pta;
+
+struct MethodStats {
+  std::vector<double> ratios;
+};
+
+std::string Cell(const MethodStats& stats) {
+  if (stats.ratios.empty()) return "-";
+  return TablePrinter::Fmt(Mean(stats.ratios), 2) + " +-" +
+         TablePrinter::Fmt(StandardError(stats.ratios), 2);
+}
+
+void EvaluateQuery(TablePrinter& table, const std::string& name,
+                   const SequentialRelation& ita, bool use_gptac_baseline) {
+  const ErrorContext ctx(ita);
+  const double emax = ctx.MaxError();
+  const bool series_applicable = ctx.cmin() == 1;
+  std::vector<double> series;
+  if (series_applicable) {
+    auto expanded = ToTimeSeries(ita);
+    PTA_CHECK(expanded.ok());
+    series = std::move((*expanded)[0]);
+  }
+
+  // Baseline error per sampled c: PTAc optimum, or gPTAc when the input is
+  // too large for the DP (the paper's E4 treatment).
+  const std::vector<size_t> sizes =
+      bench::SampleSizes(ita.size(), ctx.cmin(), 24);
+  std::vector<double> baseline(sizes.size(), -1.0);
+  if (!use_gptac_baseline) {
+    auto curve = DpErrorCurve(ita, sizes.back());
+    PTA_CHECK(curve.ok());
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      baseline[i] = (*curve)[sizes[i] - 1];
+    }
+  }
+
+  const auto atc_sweep = AtcSweep(ita, 150);
+  std::vector<DwtProfileEntry> dwt_profile;
+  if (series_applicable) dwt_profile = DwtProfile(series);
+
+  MethodStats gptac, atc, apca, dwt, paa, cheb;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    const size_t c = sizes[i];
+    RelationSegmentSource src(ita);
+    auto greedy = GreedyReduceToSize(src, c, {});
+    PTA_CHECK(greedy.ok());
+    const double base = use_gptac_baseline ? greedy->error : baseline[i];
+    if (base <= 1e-9 * emax) continue;  // ratio unstable near zero
+
+    if (!use_gptac_baseline) gptac.ratios.push_back(greedy->error / base);
+    const double atc_err = BestAtcErrorForSize(atc_sweep, c);
+    if (atc_err >= 0.0) atc.ratios.push_back(atc_err / base);
+    if (series_applicable) {
+      apca.ratios.push_back(SeriesSse(series, ApcaApproximate(series, c)) /
+                            base);
+      double dwt_best = -1.0;
+      for (const auto& entry : dwt_profile) {
+        if (entry.segments > c) continue;
+        if (dwt_best < 0.0 || entry.sse < dwt_best) dwt_best = entry.sse;
+      }
+      if (dwt_best >= 0.0) dwt.ratios.push_back(dwt_best / base);
+      paa.ratios.push_back(SeriesSse(series, PaaApproximate(series, c)) /
+                           base);
+    }
+  }
+  // Chebyshev: compare the m-coefficient reconstruction against the PTAc
+  // result with the same number of tuples (Sec. 7.2.2).
+  if (series_applicable && !use_gptac_baseline) {
+    const size_t max_m = std::min<size_t>(sizes.back(), 1000);
+    const auto cheb_curve = ChebyshevErrorCurve(series, max_m);
+    auto opt_curve = DpErrorCurve(ita, max_m);
+    PTA_CHECK(opt_curve.ok());
+    for (size_t c : sizes) {
+      if (c > max_m) continue;
+      const double base = (*opt_curve)[c - 1];
+      if (base <= 1e-9 * emax) continue;
+      cheb.ratios.push_back(cheb_curve[c - 1] / base);
+    }
+  }
+
+  table.AddRow({name + (use_gptac_baseline ? " (vs gPTAc)" : ""),
+                use_gptac_baseline ? "1.00 (base)" : Cell(gptac), Cell(atc),
+                Cell(apca), Cell(dwt), Cell(paa), Cell(cheb)});
+}
+
+}  // namespace
+
+int main() {
+  using namespace pta;
+  bench::PrintHeader("Fig. 16 — average error ratio for different datasets",
+                     "Fig. 16(a)/(b), Sec. 7.2.2");
+
+  TablePrinter table({"Query", "gPTAc", "ATC", "APCA", "DWT", "PAA", "Cheb"});
+
+  EtdsOptions etds_options;
+  etds_options.num_employees = bench::Scaled(250);
+  etds_options.num_months = 300;
+  const TemporalRelation etds = GenerateEtds(etds_options);
+  for (const auto& [name, spec] :
+       {std::pair<const char*, ItaSpec>{"E1", EtdsQueryE1()},
+        {"E2", EtdsQueryE2()},
+        {"E3", EtdsQueryE3()}}) {
+    auto ita = Ita(etds, spec);
+    PTA_CHECK(ita.ok());
+    EvaluateQuery(table, name, *ita, /*use_gptac_baseline=*/false);
+  }
+  {
+    // E4 at reduced scale still yields a grouped result far too large for
+    // the DP; gPTAc serves as baseline like in the paper.
+    auto ita = Ita(etds, EtdsQueryE4());
+    PTA_CHECK(ita.ok());
+    EvaluateQuery(table, "E4", *ita, /*use_gptac_baseline=*/true);
+  }
+
+  IncumbentsOptions inc_options;
+  inc_options.num_departments = bench::Scaled(5);
+  inc_options.num_months = 240;
+  const TemporalRelation incumbents = GenerateIncumbents(inc_options);
+  for (const auto& [name, spec] :
+       {std::pair<const char*, ItaSpec>{"I1", IncumbentsQueryI1()},
+        {"I2", IncumbentsQueryI2()},
+        {"I3", IncumbentsQueryI3()}}) {
+    auto ita = Ita(incumbents, spec);
+    PTA_CHECK(ita.ok());
+    EvaluateQuery(table, name, *ita, /*use_gptac_baseline=*/false);
+  }
+
+  EvaluateQuery(table, "T1", FromTimeSeries({MackeyGlass(bench::Scaled(1800))}),
+                false);
+  EvaluateQuery(table, "T2", FromTimeSeries({Tide(bench::Scaled(3000))}),
+                false);
+  EvaluateQuery(table, "T3",
+                WindRelation(bench::Scaled(2000), 12, bench::Scaled(66)),
+                false);
+
+  table.Print();
+  std::printf(
+      "\npaper shape: gPTAc has the best (smallest) ratio everywhere; ATC "
+      "is second but\ninconsistent across datasets; APCA/DWT/PAA/Chebyshev "
+      "apply only to the gap-free\nsingle-group queries and trail by an "
+      "order of magnitude on temporal data\n(they split constant-value "
+      "intervals).\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Fig. 2: various approximations of time series data.
+//
+// The paper plots one gap-free excerpt of the Incumbents dataset
+// approximated by DWT, DFT, Chebyshev, PAA, APCA, PTA and gPTAc (10
+// coefficients / segments each) and reports the SSE per method in the
+// sub-captions: PTA 109 < gPTAc 119 << DFT 669 < PAA 2516 < APCA 2573 <
+// DWT 2903 << Chebyshev 17257. This harness reproduces the comparison on
+// the Incumbents-like substitute: absolute numbers differ, the ordering —
+// PTA best, greedy within a few percent, the non-adaptive transforms far
+// behind — is the result under test.
+
+#include <cstdio>
+
+#include "baselines/apca.h"
+#include "baselines/chebyshev.h"
+#include "baselines/dft.h"
+#include "baselines/dwt.h"
+#include "baselines/paa.h"
+#include "baselines/series.h"
+#include "bench_util.h"
+#include "core/ita.h"
+#include "datasets/incumbents.h"
+#include "pta/dp.h"
+#include "pta/greedy.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace pta;
+
+// Longest gap-free single-group excerpt of the ITA result, expanded to one
+// value per chronon (the paper: "a small excerpt ... with only one
+// aggregate value and no aggregation groups and temporal gaps").
+std::vector<double> LongestExcerpt(const SequentialRelation& ita,
+                                   size_t max_len) {
+  size_t best_from = 0, best_to = 0;
+  size_t from = 0;
+  for (size_t i = 0; i + 1 <= ita.size(); ++i) {
+    const bool run_ends = i + 1 == ita.size() || !ita.AdjacentPair(i);
+    if (run_ends) {
+      if (i - from > best_to - best_from) {
+        best_from = from;
+        best_to = i;
+      }
+      from = i + 1;
+    }
+  }
+  std::vector<double> series;
+  for (size_t i = best_from; i <= best_to; ++i) {
+    for (int64_t k = 0; k < ita.length(i); ++k) {
+      series.push_back(ita.value(i, 0));
+      if (series.size() >= max_len) return series;
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  using namespace pta;
+  bench::PrintHeader(
+      "Fig. 2 — various approximations of time series data (c = 10)",
+      "Fig. 2(a)-(h), Sec. 2.2 / 7.2.2");
+
+  IncumbentsOptions options;
+  options.num_departments = bench::Scaled(6);
+  options.num_months = 480;
+  options.gap_probability = 0.05;
+  const TemporalRelation incumbents = GenerateIncumbents(options);
+  auto ita = Ita(incumbents, IncumbentsQueryI1());
+  if (!ita.ok()) {
+    std::fprintf(stderr, "ITA failed: %s\n", ita.status().ToString().c_str());
+    return 1;
+  }
+  const std::vector<double> series = LongestExcerpt(*ita, 400);
+  std::printf("excerpt: %zu chronons of one (Dept, Proj) group\n\n",
+              series.size());
+  const SequentialRelation rel = SeriesToRelation(series);
+  const size_t c = 10;
+
+  TablePrinter table({"Method (Fig. 2 panel)", "SSE", "vs PTA"});
+  double pta_error = 0.0;
+
+  auto pta = ReduceToSizeDp(rel, c);
+  if (!pta.ok()) return 1;
+  pta_error = pta->error;
+
+  auto add = [&table, &pta_error](const char* name, double sse) {
+    table.AddRow({name, TablePrinter::Fmt(sse),
+                  pta_error > 0 ? TablePrinter::Fmt(sse / pta_error) : "-"});
+  };
+
+  add("PTA   (g)", pta_error);
+  {
+    RelationSegmentSource src(rel);
+    auto greedy = GreedyReduceToSize(src, c, {});
+    if (!greedy.ok()) return 1;
+    add("gPTAc (h)", greedy->error);
+  }
+  add("DFT   (c)", SeriesSse(series, DftApproximate(series, c)));
+  add("PAA   (e)", SeriesSse(series, PaaApproximate(series, c)));
+  add("APCA  (f)", SeriesSse(series, ApcaApproximate(series, c)));
+  add("DWT   (b)", SeriesSse(series, DwtBestWithSegments(series, c)));
+  add("Chebyshev (d)", SeriesSse(series, ChebyshevApproximate(series, c)));
+  table.Print();
+
+  std::printf(
+      "\nExpected shape (paper: 109 / 119 / 669 / 2516 / 2573 / 2903 / "
+      "17257):\nPTA minimal, gPTAc within a few percent, continuous "
+      "transforms (DFT, Chebyshev) and\nnon-adaptive segmentations (PAA, "
+      "DWT) one or more orders of magnitude worse;\nAPCA between, since "
+      "only its segment values adapt to the data.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Shared helpers for the paper-reproduction benchmark harnesses.
+//
+// Every harness prints the rows/series of one table or figure of the
+// paper's Sec. 7 evaluation. Dataset sizes default to laptop scale and are
+// multiplied by the PTA_BENCH_SCALE environment variable (float, default
+// 1.0) — raise it to approach the paper's original sizes.
+
+#ifndef PTA_BENCH_BENCH_UTIL_H_
+#define PTA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "pta/segment.h"
+
+namespace pta {
+namespace bench {
+
+/// PTA_BENCH_SCALE (default 1.0), clamped to [0.01, 1000].
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("PTA_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v < 0.01) return 0.01;
+  if (v > 1000.0) return 1000.0;
+  return v;
+}
+
+/// base * PTA_BENCH_SCALE, at least `minimum`.
+inline size_t Scaled(size_t base, size_t minimum = 1) {
+  const double scaled = static_cast<double>(base) * ScaleFromEnv();
+  const size_t v = static_cast<size_t>(scaled);
+  return v < minimum ? minimum : v;
+}
+
+/// Prints the harness banner with the paper reference.
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("scale: PTA_BENCH_SCALE=%.2f\n", ScaleFromEnv());
+  std::printf("==============================================================\n\n");
+}
+
+/// Reduction ratio in percent: 0%% at the full ITA result, 100%% at cmin.
+inline double ReductionPercent(size_t n, size_t c, size_t cmin) {
+  if (n <= cmin) return 100.0;
+  return 100.0 * static_cast<double>(n - c) / static_cast<double>(n - cmin);
+}
+
+/// The c giving a desired reduction percentage (inverse of the above).
+inline size_t SizeForReduction(size_t n, size_t cmin, double percent) {
+  const double c = static_cast<double>(n) -
+                   percent / 100.0 * static_cast<double>(n - cmin);
+  if (c < static_cast<double>(cmin)) return cmin;
+  if (c > static_cast<double>(n)) return n;
+  return static_cast<size_t>(c);
+}
+
+/// Evenly spaced sample sizes c in [cmin, n], deduplicated, ascending.
+inline std::vector<size_t> SampleSizes(size_t n, size_t cmin, size_t count) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < count; ++i) {
+    const double frac =
+        static_cast<double>(i + 1) / static_cast<double>(count + 1);
+    const size_t c =
+        cmin + static_cast<size_t>(frac * static_cast<double>(n - cmin));
+    if (out.empty() || out.back() != c) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace pta
+
+#endif  // PTA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,72 @@
+// Salary dashboard: compressing a company's salary history for display.
+//
+// The motivating application of Sec. 1: a dashboard cannot render hundreds
+// of thousands of ITA tuples, but a PTA result with a few dozen segments
+// captures the significant changes. This example aggregates the ETDS-like
+// employee dataset, sweeps the size budget, and prints the size/error
+// trade-off plus the final compressed timeline.
+//
+// Run:  ./build/examples/salary_dashboard
+
+#include <cstdio>
+
+#include "datasets/etds.h"
+#include "pta/error.h"
+#include "pta/pta.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace pta;
+
+  EtdsOptions options;
+  options.num_employees = 200;
+  options.num_months = 240;
+  const TemporalRelation employees = GenerateEtds(options);
+  std::printf("generated %zu employee salary records over %lld months\n",
+              employees.size(),
+              static_cast<long long>(options.num_months));
+
+  // Company-wide average salary over time (query E1 of the paper).
+  const ItaSpec query = EtdsQueryE1();
+  auto ita = Ita(employees, query);
+  if (!ita.ok()) {
+    std::fprintf(stderr, "ITA failed: %s\n", ita.status().ToString().c_str());
+    return 1;
+  }
+  const ErrorContext ctx(*ita);
+  std::printf("ITA result: %zu tuples (cmin = %zu, Emax = %.3g)\n\n",
+              ita->size(), ctx.cmin(), ctx.MaxError());
+
+  // Size/error trade-off: how small can the dashboard series get?
+  TablePrinter table({"budget c", "reduction", "SSE", "% of Emax"});
+  for (size_t c : {ita->size() / 2, ita->size() / 4, ita->size() / 10,
+                   ita->size() / 20, size_t{12}}) {
+    if (c < ctx.cmin()) continue;
+    auto reduced = ReduceToSizeDp(*ita, c);
+    if (!reduced.ok()) continue;
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(c)),
+                  TablePrinter::FmtPercent(
+                      100.0 * (1.0 - static_cast<double>(c) /
+                                         static_cast<double>(ita->size()))),
+                  TablePrinter::Fmt(reduced->error),
+                  TablePrinter::FmtPercent(
+                      100.0 * reduced->error / ctx.MaxError(), 2)});
+  }
+  table.Print();
+
+  // The 12-segment dashboard timeline itself.
+  auto dashboard = PtaBySize(employees, query, 12);
+  if (!dashboard.ok()) {
+    std::fprintf(stderr, "PTA failed: %s\n",
+                 dashboard.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\n12-segment dashboard timeline (avg monthly salary):\n");
+  const SequentialRelation& z = dashboard->relation;
+  for (size_t i = 0; i < z.size(); ++i) {
+    std::printf("  months %4lld..%-4lld  avg salary %8.2f\n",
+                static_cast<long long>(z.interval(i).begin),
+                static_cast<long long>(z.interval(i).end), z.value(i, 0));
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Sensor-array compression: error-bounded PTA on multi-dimensional data.
+//
+// A 12-station wind-sensor array produces one 12-dimensional reading per
+// hour with occasional outages (temporal gaps). Error-bounded PTA compresses
+// the archive so that the total SSE stays below a chosen fraction of the
+// maximal error, and this example compares the exact PTAε evaluation with
+// the streaming gPTAε and the ATC baseline.
+//
+// Run:  ./build/examples/sensor_compression
+
+#include <cstdio>
+
+#include "baselines/atc.h"
+#include "datasets/timeseries.h"
+#include "pta/dp.h"
+#include "pta/error.h"
+#include "pta/greedy.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace pta;
+
+  const size_t kHours = 2000;
+  const size_t kStations = 12;
+  const SequentialRelation archive = WindRelation(kHours, kStations,
+                                                  /*num_gaps=*/25, /*seed=*/7);
+  const ErrorContext ctx(archive);
+  std::printf(
+      "wind archive: %zu hourly readings x %zu stations, %zu outages "
+      "(cmin = %zu)\n\n",
+      archive.size(), kStations, ctx.gaps().size(), ctx.cmin());
+
+  TablePrinter table({"eps", "PTAe size", "PTAe SSE", "gPTAe size",
+                      "gPTAe SSE", "ATC size", "ATC SSE"});
+  for (double eps : {0.001, 0.01, 0.05, 0.2}) {
+    auto exact = ReduceToErrorDp(archive, eps);
+    if (!exact.ok()) {
+      std::fprintf(stderr, "PTAe failed: %s\n",
+                   exact.status().ToString().c_str());
+      return 1;
+    }
+
+    GreedyErrorEstimates estimates{ctx.MaxError(), archive.size()};
+    RelationSegmentSource source(archive);
+    auto greedy = GreedyReduceToError(source, eps, estimates);
+    if (!greedy.ok()) return 1;
+
+    // ATC with the matching local threshold (its classic configuration).
+    auto atc = AtcReduce(archive, eps * ctx.MaxError() /
+                                      static_cast<double>(archive.size()));
+    if (!atc.ok()) return 1;
+
+    table.AddRow(
+        {TablePrinter::Fmt(eps, 3),
+         TablePrinter::Fmt(static_cast<uint64_t>(exact->relation.size())),
+         TablePrinter::FmtSci(exact->error),
+         TablePrinter::Fmt(static_cast<uint64_t>(greedy->relation.size())),
+         TablePrinter::FmtSci(greedy->error),
+         TablePrinter::Fmt(static_cast<uint64_t>(atc->relation.size())),
+         TablePrinter::FmtSci(atc->error)});
+  }
+  table.Print();
+  std::printf(
+      "\nPTAe gives the smallest archive for each error budget; gPTAe "
+      "trades a few extra\nsegments for streaming, bounded-memory "
+      "evaluation; ATC's local decisions need\nmore segments at equal "
+      "error.\n");
+  return 0;
+}

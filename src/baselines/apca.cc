@@ -1,0 +1,62 @@
+#include "baselines/apca.h"
+
+#include <cmath>
+
+#include "baselines/dwt.h"
+#include "pta/greedy.h"
+#include "pta/segment.h"
+#include "util/check.h"
+
+namespace pta {
+
+std::vector<double> ApcaApproximate(const std::vector<double>& series,
+                                    size_t c) {
+  PTA_CHECK_MSG(!series.empty(), "empty series");
+  PTA_CHECK_MSG(c >= 1, "need at least one segment");
+  const size_t n = series.size();
+
+  // Step 1: DWT seed with c coefficients; its reconstruction has <= 3c
+  // segments.
+  const std::vector<double> seed = DwtApproximate(series, c);
+
+  // Step 2: extract the seed's segment boundaries and insert the true means
+  // of the original data over each segment.
+  SequentialRelation segments(1);
+  size_t start = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    if (i == n || std::fabs(seed[i] - seed[start]) > 1e-12) {
+      double sum = 0.0;
+      for (size_t j = start; j < i; ++j) sum += series[j];
+      const double mean = sum / static_cast<double>(i - start);
+      segments.Append(0,
+                      Interval(static_cast<Chronon>(start),
+                               static_cast<Chronon>(i - 1)),
+                      &mean);
+      start = i;
+    }
+  }
+
+  // Step 3: greedy merging of the most similar adjacent segments down to c
+  // (the same merging machinery PTA's GMS uses).
+  std::vector<double> out(n);
+  if (segments.size() > c) {
+    auto reduced = GmsReduceToSize(segments, c);
+    PTA_CHECK_MSG(reduced.ok(), reduced.status().message().c_str());
+    const SequentialRelation& rel = reduced->relation;
+    for (size_t i = 0; i < rel.size(); ++i) {
+      for (Chronon t = rel.interval(i).begin; t <= rel.interval(i).end; ++t) {
+        out[static_cast<size_t>(t)] = rel.value(i, 0);
+      }
+    }
+  } else {
+    for (size_t i = 0; i < segments.size(); ++i) {
+      for (Chronon t = segments.interval(i).begin;
+           t <= segments.interval(i).end; ++t) {
+        out[static_cast<size_t>(t)] = segments.value(i, 0);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pta

@@ -1,0 +1,22 @@
+// Adaptive piecewise constant approximation (Chakrabarti et al. [7];
+// Sec. 2.2, Fig. 2(f)): reconstruct from the c largest DWT coefficients
+// (yielding up to 3c segments), replace each segment's value by the true
+// data mean, then greedily merge the most similar adjacent segments until c
+// remain.
+
+#ifndef PTA_BASELINES_APCA_H_
+#define PTA_BASELINES_APCA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pta {
+
+/// Approximates `series` with (at most) c constant segments following the
+/// APCA recipe. Returns the per-point step function of the same length.
+std::vector<double> ApcaApproximate(const std::vector<double>& series,
+                                    size_t c);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_APCA_H_

@@ -1,0 +1,49 @@
+// Approximate temporal coalescing (Berberich et al. [2]; Sec. 2.1).
+//
+// ATC scans temporally adjacent tuples of the same group in order and merges
+// the incoming tuple into the current output segment as long as the *local*
+// error of the merged segment stays below a threshold. Decisions use only
+// local information, which is why its total error can exceed PTA's by up to
+// an order of magnitude (the paper's comparison baseline in Figs. 15/16/21).
+
+#ifndef PTA_BASELINES_ATC_H_
+#define PTA_BASELINES_ATC_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "pta/error.h"
+#include "pta/segment.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// Reduces `ita` by local-threshold merging: a segment absorbs the next
+/// adjacent tuple while the SSE of the (merged segment vs. its constituent
+/// tuples) stays <= threshold. Gaps and group changes always start a new
+/// segment. Returns the reduction with its exact total SSE.
+Result<Reduction> AtcReduce(const SequentialRelation& ita, double threshold,
+                            const std::vector<double>& weights = {});
+
+/// \brief One point of an ATC threshold sweep.
+struct AtcSweepEntry {
+  double threshold = 0.0;
+  size_t size = 0;
+  double error = 0.0;
+};
+
+/// Evaluates ATC over a geometric ladder of thresholds between
+/// Emax * hi_frac and Emax * lo_frac (the paper's "exponentially decaying
+/// error bounds"), recording result size and error per threshold. Use
+/// BestAtcErrorForSize to query the ladder.
+std::vector<AtcSweepEntry> AtcSweep(const SequentialRelation& ita,
+                                    size_t steps = 200, double hi_frac = 1.0,
+                                    double lo_frac = 1e-9,
+                                    const std::vector<double>& weights = {});
+
+/// Smallest error among sweep entries with size <= c; negative if none.
+double BestAtcErrorForSize(const std::vector<AtcSweepEntry>& sweep, size_t c);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_ATC_H_

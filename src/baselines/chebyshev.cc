@@ -1,0 +1,128 @@
+#include "baselines/chebyshev.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pta {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846264338327950288;
+
+// Linear interpolation of the series at fractional index u (clamped).
+double SampleAt(const std::vector<double>& series, double u) {
+  if (u <= 0.0) return series.front();
+  const double max_u = static_cast<double>(series.size() - 1);
+  if (u >= max_u) return series.back();
+  const size_t lo = static_cast<size_t>(u);
+  const double frac = u - static_cast<double>(lo);
+  return series[lo] * (1.0 - frac) + series[lo + 1] * frac;
+}
+
+}  // namespace
+
+std::vector<double> ChebyshevCoefficients(const std::vector<double>& series,
+                                          size_t m) {
+  PTA_CHECK_MSG(!series.empty(), "empty series");
+  PTA_CHECK_MSG(m >= 1, "need at least one coefficient");
+  const size_t num_nodes = series.size();
+
+  // Resample at the Chebyshev-Gauss nodes x_k = cos(pi (k+1/2) / N), mapped
+  // from [-1, 1] onto the series index range.
+  std::vector<double> node_values(num_nodes);
+  for (size_t k = 0; k < num_nodes; ++k) {
+    const double x =
+        std::cos(kPi * (static_cast<double>(k) + 0.5) /
+                 static_cast<double>(num_nodes));
+    const double u = (x + 1.0) / 2.0 * static_cast<double>(num_nodes - 1);
+    node_values[k] = SampleAt(series, u);
+  }
+
+  // a_j = (2/N) sum_k f(x_k) cos(j pi (k+1/2) / N).
+  std::vector<double> coeffs(m, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    double acc = 0.0;
+    for (size_t k = 0; k < num_nodes; ++k) {
+      acc += node_values[k] *
+             std::cos(static_cast<double>(j) * kPi *
+                      (static_cast<double>(k) + 0.5) /
+                      static_cast<double>(num_nodes));
+    }
+    coeffs[j] = 2.0 * acc / static_cast<double>(num_nodes);
+  }
+  return coeffs;
+}
+
+std::vector<double> ChebyshevReconstruct(const std::vector<double>& coeffs,
+                                         size_t n) {
+  PTA_CHECK_MSG(!coeffs.empty(), "need at least one coefficient");
+  PTA_CHECK_MSG(n >= 1, "series length must be positive");
+  std::vector<double> out(n, 0.0);
+  // Evaluate with the T_j recurrence at every position.
+  for (size_t i = 0; i < n; ++i) {
+    const double t =
+        n == 1 ? 0.0
+               : -1.0 + 2.0 * static_cast<double>(i) /
+                            static_cast<double>(n - 1);
+    double acc = coeffs[0] / 2.0;
+    double t_prev = 1.0;  // T_0
+    double t_cur = t;     // T_1
+    for (size_t j = 1; j < coeffs.size(); ++j) {
+      acc += coeffs[j] * t_cur;
+      const double t_next = 2.0 * t * t_cur - t_prev;
+      t_prev = t_cur;
+      t_cur = t_next;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<double> ChebyshevApproximate(const std::vector<double>& series,
+                                         size_t m) {
+  return ChebyshevReconstruct(ChebyshevCoefficients(series, m), series.size());
+}
+
+std::vector<double> ChebyshevErrorCurve(const std::vector<double>& series,
+                                        size_t max_m) {
+  PTA_CHECK_MSG(max_m >= 1, "need at least one coefficient");
+  const size_t n = series.size();
+  const std::vector<double> coeffs = ChebyshevCoefficients(series, max_m);
+
+  // Incrementally add one term at a time, maintaining the running
+  // reconstruction and the Chebyshev recurrence per position.
+  std::vector<double> approx(n, coeffs[0] / 2.0);
+  std::vector<double> t_prev(n, 1.0);  // T_{j-1}
+  std::vector<double> t_cur(n);        // T_j
+  std::vector<double> ts(n);
+  for (size_t i = 0; i < n; ++i) {
+    ts[i] = n == 1 ? 0.0
+                   : -1.0 + 2.0 * static_cast<double>(i) /
+                                static_cast<double>(n - 1);
+    t_cur[i] = ts[i];
+  }
+
+  std::vector<double> errors(max_m, 0.0);
+  auto sse_now = [&]() {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = series[i] - approx[i];
+      acc += d * d;
+    }
+    return acc;
+  };
+  errors[0] = sse_now();
+  for (size_t j = 1; j < max_m; ++j) {
+    for (size_t i = 0; i < n; ++i) {
+      approx[i] += coeffs[j] * t_cur[i];
+      const double t_next = 2.0 * ts[i] * t_cur[i] - t_prev[i];
+      t_prev[i] = t_cur[i];
+      t_cur[i] = t_next;
+    }
+    errors[j] = sse_now();
+  }
+  return errors;
+}
+
+}  // namespace pta

@@ -1,0 +1,39 @@
+// Chebyshev polynomial approximation (Cai & Ng [6]; Sec. 2.2, Fig. 2(d)).
+//
+// Coefficients are obtained by Gauss-Chebyshev quadrature over the series
+// resampled at Chebyshev nodes (the standard discrete analogue of Cai & Ng's
+// continuous fit); reconstruction evaluates the truncated series at the
+// original sample positions. The restored signal is continuous, not a step
+// function — the paper compares its SSE against PTA results with the same
+// coefficient count.
+
+#ifndef PTA_BASELINES_CHEBYSHEV_H_
+#define PTA_BASELINES_CHEBYSHEV_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pta {
+
+/// First m Chebyshev coefficients a_0..a_{m-1} of the series (a_0 uses the
+/// halved convention: f(t) = a_0/2 + sum_{j>=1} a_j T_j(t)).
+std::vector<double> ChebyshevCoefficients(const std::vector<double>& series,
+                                          size_t m);
+
+/// Reconstructs the approximation from the given coefficients at the
+/// original sample positions; returns a series of length n.
+std::vector<double> ChebyshevReconstruct(const std::vector<double>& coeffs,
+                                         size_t n);
+
+/// Convenience: approximate with m coefficients.
+std::vector<double> ChebyshevApproximate(const std::vector<double>& series,
+                                         size_t m);
+
+/// SSE of the m-coefficient approximation for every m = 1..max_m, computed
+/// incrementally in O(n * max_m) total (used by the Fig. 16 harness).
+std::vector<double> ChebyshevErrorCurve(const std::vector<double>& series,
+                                        size_t max_m);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_CHEBYSHEV_H_

@@ -1,0 +1,46 @@
+#include "baselines/dft.h"
+
+#include <algorithm>
+#include <complex>
+
+#include "baselines/fft.h"
+#include "util/check.h"
+
+namespace pta {
+
+std::vector<double> DftApproximate(const std::vector<double>& series,
+                                   size_t c) {
+  PTA_CHECK_MSG(!series.empty(), "empty series");
+  PTA_CHECK_MSG(c >= 1, "need at least one coefficient");
+  const size_t n = series.size();
+
+  std::vector<std::complex<double>> spectrum = Dft(series);
+
+  // Group each frequency bin with its conjugate mirror so the reconstruction
+  // is real: bin f pairs with n-f; f = 0 (and n/2 for even n) are their own
+  // mirrors.
+  struct Component {
+    size_t f;
+    double magnitude;
+  };
+  std::vector<Component> components;
+  for (size_t f = 0; f <= n / 2; ++f) {
+    components.push_back({f, std::abs(spectrum[f])});
+  }
+  std::stable_sort(components.begin(), components.end(),
+                   [](const Component& a, const Component& b) {
+                     return a.magnitude > b.magnitude;
+                   });
+
+  std::vector<std::complex<double>> kept(n, std::complex<double>(0.0, 0.0));
+  const size_t keep = std::min(c, components.size());
+  for (size_t i = 0; i < keep; ++i) {
+    const size_t f = components[i].f;
+    kept[f] = spectrum[f];
+    const size_t mirror = (n - f) % n;
+    kept[mirror] = spectrum[mirror];
+  }
+  return InverseDftReal(kept);
+}
+
+}  // namespace pta

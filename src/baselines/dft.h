@@ -1,0 +1,21 @@
+// Discrete Fourier transform approximation (Sec. 2.2, Fig. 2(c)): keep the c
+// strongest frequency components (with their conjugate mirrors, so the
+// reconstruction stays real) and invert.
+
+#ifndef PTA_BASELINES_DFT_H_
+#define PTA_BASELINES_DFT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pta {
+
+/// Approximates `series` keeping `c` frequency components ranked by
+/// magnitude. A component is a frequency bin together with its conjugate
+/// mirror bin; the DC bin counts as one component. Returns the reconstructed
+/// (continuous-valued) series of the same length.
+std::vector<double> DftApproximate(const std::vector<double>& series, size_t c);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_DFT_H_

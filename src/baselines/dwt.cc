@@ -1,0 +1,133 @@
+#include "baselines/dwt.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "baselines/fft.h"  // NextPowerOfTwo
+#include "baselines/series.h"
+#include "util/check.h"
+
+namespace pta {
+
+namespace {
+
+const double kSqrt2 = std::sqrt(2.0);
+
+// Pads to the next power of two by repeating the last value.
+std::vector<double> PadPow2(const std::vector<double>& series) {
+  const size_t padded = NextPowerOfTwo(series.size());
+  std::vector<double> out = series;
+  out.resize(padded, series.back());
+  return out;
+}
+
+// Zeroes all but the k largest-magnitude coefficients.
+std::vector<double> KeepTopK(const std::vector<double>& coeffs, size_t k) {
+  std::vector<size_t> order(coeffs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&coeffs](size_t a, size_t b) {
+    return std::fabs(coeffs[a]) > std::fabs(coeffs[b]);
+  });
+  std::vector<double> kept(coeffs.size(), 0.0);
+  for (size_t i = 0; i < std::min(k, coeffs.size()); ++i) {
+    kept[order[i]] = coeffs[order[i]];
+  }
+  return kept;
+}
+
+}  // namespace
+
+std::vector<double> HaarForward(const std::vector<double>& data) {
+  const size_t n = data.size();
+  PTA_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                "Haar transform length must be a power of 2");
+  std::vector<double> out = data;
+  std::vector<double> tmp(n);
+  for (size_t len = n; len >= 2; len /= 2) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      tmp[i] = (out[2 * i] + out[2 * i + 1]) / kSqrt2;            // average
+      tmp[len / 2 + i] = (out[2 * i] - out[2 * i + 1]) / kSqrt2;  // detail
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, out.begin());
+  }
+  return out;
+}
+
+std::vector<double> HaarInverse(const std::vector<double>& coefficients) {
+  const size_t n = coefficients.size();
+  PTA_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                "Haar transform length must be a power of 2");
+  std::vector<double> out = coefficients;
+  std::vector<double> tmp(n);
+  for (size_t len = 2; len <= n; len *= 2) {
+    for (size_t i = 0; i < len / 2; ++i) {
+      const double avg = out[i];
+      const double detail = out[len / 2 + i];
+      tmp[2 * i] = (avg + detail) / kSqrt2;
+      tmp[2 * i + 1] = (avg - detail) / kSqrt2;
+    }
+    std::copy(tmp.begin(), tmp.begin() + len, out.begin());
+  }
+  return out;
+}
+
+std::vector<double> DwtApproximate(const std::vector<double>& series,
+                                   size_t k) {
+  PTA_CHECK_MSG(!series.empty(), "empty series");
+  PTA_CHECK_MSG(k >= 1, "need at least one coefficient");
+  const std::vector<double> coeffs = HaarForward(PadPow2(series));
+  std::vector<double> restored = HaarInverse(KeepTopK(coeffs, k));
+  restored.resize(series.size());
+  return restored;
+}
+
+std::vector<DwtProfileEntry> DwtProfile(const std::vector<double>& series,
+                                        size_t max_k) {
+  PTA_CHECK_MSG(!series.empty(), "empty series");
+  const std::vector<double> padded = PadPow2(series);
+  const std::vector<double> coeffs = HaarForward(padded);
+  if (max_k == 0 || max_k > coeffs.size()) max_k = coeffs.size();
+
+  // Rank coefficients once; reconstruction for k reuses the top-k set, so we
+  // add one coefficient at a time and invert incrementally. A full inverse
+  // per k is O(n) anyway; with n <= ~16k the O(n * max_k) total stays cheap.
+  std::vector<size_t> order(coeffs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&coeffs](size_t a, size_t b) {
+    return std::fabs(coeffs[a]) > std::fabs(coeffs[b]);
+  });
+
+  std::vector<double> kept(coeffs.size(), 0.0);
+  std::vector<DwtProfileEntry> profile;
+  profile.reserve(max_k);
+  for (size_t k = 1; k <= max_k; ++k) {
+    kept[order[k - 1]] = coeffs[order[k - 1]];
+    std::vector<double> restored = HaarInverse(kept);
+    restored.resize(series.size());
+    DwtProfileEntry entry;
+    entry.k = k;
+    entry.segments = CountSegments(restored, 1e-12);
+    entry.sse = SeriesSse(series, restored);
+    profile.push_back(entry);
+  }
+  return profile;
+}
+
+std::vector<double> DwtBestWithSegments(const std::vector<double>& series,
+                                        size_t c, size_t* chosen_k) {
+  PTA_CHECK_MSG(c >= 1, "need at least one segment");
+  const std::vector<DwtProfileEntry> profile = DwtProfile(series);
+  size_t best_k = 1;
+  double best_sse = -1.0;
+  for (const DwtProfileEntry& entry : profile) {
+    if (entry.segments > c) continue;
+    if (best_sse < 0.0 || entry.sse < best_sse) {
+      best_sse = entry.sse;
+      best_k = entry.k;
+    }
+  }
+  if (chosen_k != nullptr) *chosen_k = best_k;
+  return DwtApproximate(series, best_k);
+}
+
+}  // namespace pta

@@ -1,0 +1,48 @@
+// Discrete wavelet transform baseline (Sec. 2.2, Fig. 2(b)): orthonormal
+// Haar decomposition, keep the k most influential coefficients, reconstruct
+// a step function. Inputs are padded to a power of two by repeating the
+// final value, which reproduces the boundary artifacts the paper observes.
+
+#ifndef PTA_BASELINES_DWT_H_
+#define PTA_BASELINES_DWT_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pta {
+
+/// Orthonormal Haar DWT of a power-of-two-length series.
+std::vector<double> HaarForward(const std::vector<double>& data);
+
+/// Inverse of HaarForward.
+std::vector<double> HaarInverse(const std::vector<double>& coefficients);
+
+/// Approximates `series` (any length) keeping the k largest-magnitude Haar
+/// coefficients of its padded transform. Returns the reconstructed step
+/// function truncated to the original length.
+std::vector<double> DwtApproximate(const std::vector<double>& series,
+                                   size_t k);
+
+/// \brief Quality profile of DWT at every coefficient count.
+///
+/// The paper (Sec. 7.2.2) notes a k-coefficient reconstruction yields k..3k
+/// segments, so obtaining a *c-segment* result requires searching k. The
+/// profile records, for k = 1..n_padded, the reconstruction's segment count
+/// and its SSE against the original series.
+struct DwtProfileEntry {
+  size_t k = 0;
+  size_t segments = 0;
+  double sse = 0.0;
+};
+std::vector<DwtProfileEntry> DwtProfile(const std::vector<double>& series,
+                                        size_t max_k = 0);
+
+/// Best DWT approximation with at most c segments: scans the profile and
+/// reconstructs with the k that minimizes SSE subject to segments <= c.
+/// Returns the step function; *chosen_k receives the winning k if non-null.
+std::vector<double> DwtBestWithSegments(const std::vector<double>& series,
+                                        size_t c, size_t* chosen_k = nullptr);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_DWT_H_

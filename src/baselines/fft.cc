@@ -1,0 +1,100 @@
+#include "baselines/fft.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pta {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}  // namespace
+
+size_t NextPowerOfTwo(size_t n) {
+  PTA_CHECK(n >= 1);
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  const size_t n = data.size();
+  PTA_CHECK_MSG((n & (n - 1)) == 0 && n > 0, "FFT length must be a power of 2");
+
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle = kTwoPi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> Dft(const std::vector<double>& series) {
+  const size_t n = series.size();
+  PTA_CHECK(n >= 1);
+  if ((n & (n - 1)) == 0) {
+    std::vector<std::complex<double>> data(series.begin(), series.end());
+    Fft(data, /*inverse=*/false);
+    return data;
+  }
+  // Direct transform for non-power-of-two lengths.
+  std::vector<std::complex<double>> out(n);
+  for (size_t f = 0; f < n; ++f) {
+    std::complex<double> acc(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      const double angle =
+          -kTwoPi * static_cast<double>(f) * static_cast<double>(t) /
+          static_cast<double>(n);
+      acc += series[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[f] = acc;
+  }
+  return out;
+}
+
+std::vector<double> InverseDftReal(
+    const std::vector<std::complex<double>>& spectrum) {
+  const size_t n = spectrum.size();
+  PTA_CHECK(n >= 1);
+  if ((n & (n - 1)) == 0) {
+    std::vector<std::complex<double>> data = spectrum;
+    Fft(data, /*inverse=*/true);
+    std::vector<double> out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = data[i].real();
+    return out;
+  }
+  std::vector<double> out(n);
+  for (size_t t = 0; t < n; ++t) {
+    std::complex<double> acc(0.0, 0.0);
+    for (size_t f = 0; f < n; ++f) {
+      const double angle =
+          kTwoPi * static_cast<double>(f) * static_cast<double>(t) /
+          static_cast<double>(n);
+      acc += spectrum[f] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[t] = acc.real() / static_cast<double>(n);
+  }
+  return out;
+}
+
+}  // namespace pta

@@ -1,0 +1,31 @@
+// Radix-2 fast Fourier transform substrate for the DFT baseline.
+
+#ifndef PTA_BASELINES_FFT_H_
+#define PTA_BASELINES_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace pta {
+
+/// In-place iterative radix-2 FFT. The input length must be a power of two.
+/// `inverse` applies the conjugate transform and divides by n, so
+/// Fft(Fft(x), inverse=true) == x up to rounding.
+void Fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Smallest power of two >= n (n >= 1).
+size_t NextPowerOfTwo(size_t n);
+
+/// Discrete Fourier transform of an arbitrary-length real series. Uses the
+/// radix-2 FFT when the length is a power of two and the O(n^2) direct
+/// transform otherwise (the baseline datasets are small enough).
+std::vector<std::complex<double>> Dft(const std::vector<double>& series);
+
+/// Inverse DFT; returns the real parts (the callers reconstruct from
+/// conjugate-symmetric spectra, so the imaginary parts vanish).
+std::vector<double> InverseDftReal(
+    const std::vector<std::complex<double>>& spectrum);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_FFT_H_

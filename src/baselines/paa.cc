@@ -1,0 +1,30 @@
+#include "baselines/paa.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pta {
+
+std::vector<double> PaaApproximate(const std::vector<double>& series,
+                                   size_t c) {
+  PTA_CHECK_MSG(!series.empty(), "empty series");
+  PTA_CHECK_MSG(c >= 1, "need at least one segment");
+  const size_t n = series.size();
+  c = std::min(c, n);
+
+  std::vector<double> out(n);
+  // Segment boundaries at floor(i * n / c) keep lengths within one of each
+  // other for any c.
+  for (size_t seg = 0; seg < c; ++seg) {
+    const size_t from = seg * n / c;
+    const size_t to = (seg + 1) * n / c;  // exclusive
+    double sum = 0.0;
+    for (size_t i = from; i < to; ++i) sum += series[i];
+    const double mean = sum / static_cast<double>(to - from);
+    for (size_t i = from; i < to; ++i) out[i] = mean;
+  }
+  return out;
+}
+
+}  // namespace pta

@@ -1,0 +1,20 @@
+// Piecewise aggregate approximation (Keogh & Pazzani [14]; Yi & Faloutsos
+// [31], "segmented means"): split the series into c equal-length segments
+// and replace each by its mean. Not data-adaptive (Sec. 2.2, Fig. 2(e)).
+
+#ifndef PTA_BASELINES_PAA_H_
+#define PTA_BASELINES_PAA_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pta {
+
+/// Approximates `series` with c equal-length segments (the last segment
+/// absorbs the remainder when c does not divide the length). Returns the
+/// per-point step function of the same length.
+std::vector<double> PaaApproximate(const std::vector<double>& series, size_t c);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_PAA_H_

@@ -1,0 +1,47 @@
+#include "baselines/series.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pta {
+
+double SeriesSse(const std::vector<double>& a, const std::vector<double>& b) {
+  PTA_CHECK_MSG(a.size() == b.size(), "series length mismatch");
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+size_t CountSegments(const std::vector<double>& series, double tol) {
+  if (series.empty()) return 0;
+  size_t segments = 1;
+  for (size_t i = 1; i < series.size(); ++i) {
+    if (std::fabs(series[i] - series[i - 1]) > tol) ++segments;
+  }
+  return segments;
+}
+
+SequentialRelation SeriesToRelation(const std::vector<double>& series,
+                                    double tol) {
+  SequentialRelation rel(1);
+  if (series.empty()) return rel;
+  size_t start = 0;
+  for (size_t i = 1; i <= series.size(); ++i) {
+    if (i == series.size() || std::fabs(series[i] - series[start]) > tol) {
+      const double v = series[start];
+      rel.Append(0,
+                 Interval(static_cast<Chronon>(start),
+                          static_cast<Chronon>(i - 1)),
+                 &v);
+      start = i;
+    }
+  }
+  rel.SetGroupKeys({GroupKey{}});
+  return rel;
+}
+
+}  // namespace pta

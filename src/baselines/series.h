@@ -1,0 +1,30 @@
+// Shared helpers for the time-series baselines (Sec. 2.2): plain value
+// series (one entry per chronon), their SSE, and conversions to the segment
+// representation used by the PTA error measure.
+
+#ifndef PTA_BASELINES_SERIES_H_
+#define PTA_BASELINES_SERIES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "pta/segment.h"
+
+namespace pta {
+
+/// Sum of squared differences between two equally long series.
+double SeriesSse(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Number of maximal constant-value runs in the series (the "segments" of a
+/// reconstructed step function). Values within `tol` of each other count as
+/// equal.
+size_t CountSegments(const std::vector<double>& series, double tol = 0.0);
+
+/// Wraps a per-chronon step function as a single-group SequentialRelation,
+/// merging equal adjacent values into one segment each.
+SequentialRelation SeriesToRelation(const std::vector<double>& series,
+                                    double tol = 0.0);
+
+}  // namespace pta
+
+#endif  // PTA_BASELINES_SERIES_H_

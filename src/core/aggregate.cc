@@ -1,0 +1,143 @@
+#include "core/aggregate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pta {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+AggregateSpec Avg(std::string attr, std::string output_name) {
+  return {AggKind::kAvg, std::move(attr), std::move(output_name)};
+}
+AggregateSpec Sum(std::string attr, std::string output_name) {
+  return {AggKind::kSum, std::move(attr), std::move(output_name)};
+}
+AggregateSpec Count(std::string output_name) {
+  return {AggKind::kCount, "", std::move(output_name)};
+}
+AggregateSpec Min(std::string attr, std::string output_name) {
+  return {AggKind::kMin, std::move(attr), std::move(output_name)};
+}
+AggregateSpec Max(std::string attr, std::string output_name) {
+  return {AggKind::kMax, std::move(attr), std::move(output_name)};
+}
+
+namespace {
+
+// Sum, count, avg share a running (sum, count) pair.
+class SumCountAggregator : public Aggregator {
+ public:
+  explicit SumCountAggregator(AggKind kind) : kind_(kind) {}
+
+  void Add(double v) override {
+    sum_ += v;
+    ++count_;
+  }
+  void Remove(double v) override {
+    sum_ -= v;
+    PTA_DCHECK(count_ > 0);
+    --count_;
+    if (count_ == 0) sum_ = 0.0;  // clear accumulated rounding drift
+  }
+  double Current() const override {
+    PTA_DCHECK(count_ > 0);
+    switch (kind_) {
+      case AggKind::kSum:
+        return sum_;
+      case AggKind::kCount:
+        return static_cast<double>(count_);
+      default:
+        return sum_ / static_cast<double>(count_);
+    }
+  }
+  bool Empty() const override { return count_ == 0; }
+  void Reset() override {
+    sum_ = 0.0;
+    count_ = 0;
+  }
+
+ private:
+  AggKind kind_;
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+// Min/max keep a multiset of live contributions; O(log n) add/remove.
+class ExtremeAggregator : public Aggregator {
+ public:
+  explicit ExtremeAggregator(bool is_min) : is_min_(is_min) {}
+
+  void Add(double v) override { ++live_[v]; }
+  void Remove(double v) override {
+    auto it = live_.find(v);
+    PTA_DCHECK(it != live_.end());
+    if (--it->second == 0) live_.erase(it);
+  }
+  double Current() const override {
+    PTA_DCHECK(!live_.empty());
+    return is_min_ ? live_.begin()->first : live_.rbegin()->first;
+  }
+  bool Empty() const override { return live_.empty(); }
+  void Reset() override { live_.clear(); }
+
+ private:
+  bool is_min_;
+  std::map<double, int64_t> live_;
+};
+
+}  // namespace
+
+std::unique_ptr<Aggregator> CreateAggregator(AggKind kind) {
+  switch (kind) {
+    case AggKind::kAvg:
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return std::make_unique<SumCountAggregator>(kind);
+    case AggKind::kMin:
+      return std::make_unique<ExtremeAggregator>(/*is_min=*/true);
+    case AggKind::kMax:
+      return std::make_unique<ExtremeAggregator>(/*is_min=*/false);
+  }
+  return nullptr;
+}
+
+Result<double> EvaluateAggregate(AggKind kind,
+                                 const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::FailedPrecondition("aggregate over empty value set");
+  }
+  switch (kind) {
+    case AggKind::kCount:
+      return static_cast<double>(values.size());
+    case AggKind::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case AggKind::kMax:
+      return *std::max_element(values.begin(), values.end());
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      if (kind == AggKind::kSum) return sum;
+      return sum / static_cast<double>(values.size());
+    }
+  }
+  return Status::InvalidArgument("unknown aggregate kind");
+}
+
+}  // namespace pta

@@ -1,0 +1,73 @@
+// Aggregate functions over sets of tuple values (Def. 1's f1, ..., fp).
+//
+// Two evaluation styles are provided:
+//  * Aggregator — incremental add/remove, used by the ITA endpoint sweep
+//    where the set of valid tuples changes at interval boundaries;
+//  * EvaluateAggregate — one-shot over a full value set, used by STA.
+
+#ifndef PTA_CORE_AGGREGATE_H_
+#define PTA_CORE_AGGREGATE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pta {
+
+/// Supported aggregation functions.
+enum class AggKind {
+  kAvg = 0,
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+};
+
+/// Human-readable name ("avg", "sum", ...).
+const char* AggKindName(AggKind kind);
+
+/// \brief One aggregate function in a query: `kind(attr) AS output_name`.
+struct AggregateSpec {
+  AggKind kind = AggKind::kAvg;
+  /// Input attribute; ignored by kCount (which counts tuples).
+  std::string attr;
+  /// Name of the result attribute B_d.
+  std::string output_name;
+};
+
+/// Convenience constructors, e.g. `Avg("Sal", "AvgSal")`.
+AggregateSpec Avg(std::string attr, std::string output_name);
+AggregateSpec Sum(std::string attr, std::string output_name);
+AggregateSpec Count(std::string output_name);
+AggregateSpec Min(std::string attr, std::string output_name);
+AggregateSpec Max(std::string attr, std::string output_name);
+
+/// \brief Incrementally maintained aggregate over a multiset of doubles.
+///
+/// Supports Add and Remove of individual contributions so the ITA sweep can
+/// update the aggregate in O(log n) per tuple-boundary event.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  virtual void Add(double v) = 0;
+  virtual void Remove(double v) = 0;
+  /// Current aggregate; requires a non-empty multiset.
+  virtual double Current() const = 0;
+  virtual bool Empty() const = 0;
+  virtual void Reset() = 0;
+};
+
+/// Creates an incremental aggregator for the given kind.
+std::unique_ptr<Aggregator> CreateAggregator(AggKind kind);
+
+/// One-shot evaluation over a set of values; fails on an empty input (the
+/// temporal operators never aggregate over empty tuple sets).
+Result<double> EvaluateAggregate(AggKind kind, const std::vector<double>& values);
+
+}  // namespace pta
+
+#endif  // PTA_CORE_AGGREGATE_H_

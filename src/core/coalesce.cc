@@ -1,0 +1,48 @@
+#include "core/coalesce.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pta {
+
+TemporalRelation Coalesce(const TemporalRelation& rel) {
+  // Bucket intervals by the full value vector, then merge sorted intervals
+  // that overlap or meet.
+  std::unordered_map<GroupKey, std::vector<Interval>, GroupKeyHasher> buckets;
+  for (const Tuple& t : rel.tuples()) {
+    buckets[t.values()].push_back(t.interval());
+  }
+
+  // Deterministic output order: sort the distinct value vectors.
+  std::vector<const GroupKey*> keys;
+  keys.reserve(buckets.size());
+  for (const auto& [key, _] : buckets) keys.push_back(&key);
+  std::sort(keys.begin(), keys.end(),
+            [](const GroupKey* a, const GroupKey* b) {
+              return GroupKeyLess(*a, *b);
+            });
+
+  TemporalRelation out(rel.schema());
+  for (const GroupKey* key : keys) {
+    std::vector<Interval>& intervals = buckets[*key];
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                if (a.begin != b.begin) return a.begin < b.begin;
+                return a.end < b.end;
+              });
+    Interval cur = intervals.front();
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      const Interval& next = intervals[i];
+      if (next.begin <= cur.end + 1) {
+        cur.end = std::max(cur.end, next.end);
+      } else {
+        out.InsertUnchecked(Tuple(*key, cur));
+        cur = next;
+      }
+    }
+    out.InsertUnchecked(Tuple(*key, cur));
+  }
+  return out;
+}
+
+}  // namespace pta

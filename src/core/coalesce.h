@@ -1,0 +1,20 @@
+// Coalescing of temporal relations (Böhlen, Snodgrass & Soo, VLDB 1996):
+// value-equivalent tuples whose timestamps overlap or meet are merged into
+// tuples over maximal intervals. ITA applies this to its per-instant results;
+// the standalone operator is exposed for general use.
+
+#ifndef PTA_CORE_COALESCE_H_
+#define PTA_CORE_COALESCE_H_
+
+#include "core/relation.h"
+
+namespace pta {
+
+/// Returns the coalesced version of `rel`: for every set of value-equivalent
+/// tuples, overlapping or adjacent timestamps are replaced by their maximal
+/// union intervals. The result is sorted by value then time.
+TemporalRelation Coalesce(const TemporalRelation& rel);
+
+}  // namespace pta
+
+#endif  // PTA_CORE_COALESCE_H_

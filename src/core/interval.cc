@@ -1,0 +1,14 @@
+#include "core/interval.h"
+
+#include <cstdio>
+
+namespace pta {
+
+std::string Interval::ToString() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%lld, %lld]", static_cast<long long>(begin),
+                static_cast<long long>(end));
+  return buf;
+}
+
+}  // namespace pta

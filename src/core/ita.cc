@@ -1,0 +1,190 @@
+#include "core/ita.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pta {
+
+Result<std::unique_ptr<ItaStream>> ItaStream::Create(
+    const TemporalRelation& rel, const ItaSpec& spec) {
+  if (spec.aggregates.empty()) {
+    return Status::InvalidArgument("ITA requires at least one aggregate");
+  }
+  auto group_indices = rel.schema().ResolveAll(spec.group_by);
+  if (!group_indices.ok()) return group_indices.status();
+
+  std::vector<int> agg_attr_indices;
+  for (const AggregateSpec& agg : spec.aggregates) {
+    if (agg.kind == AggKind::kCount) {
+      agg_attr_indices.push_back(-1);
+      continue;
+    }
+    const int idx = rel.schema().IndexOf(agg.attr);
+    if (idx < 0) {
+      return Status::NotFound("unknown aggregate attribute: " + agg.attr);
+    }
+    const ValueType type = rel.schema().attribute(idx).type;
+    if (type != ValueType::kInt64 && type != ValueType::kDouble) {
+      return Status::InvalidArgument("aggregate attribute " + agg.attr +
+                                     " is not numeric");
+    }
+    agg_attr_indices.push_back(idx);
+  }
+
+  return std::unique_ptr<ItaStream>(
+      new ItaStream(&rel, std::move(*group_indices), spec.aggregates,
+                    std::move(agg_attr_indices)));
+}
+
+ItaStream::ItaStream(const TemporalRelation* rel,
+                     std::vector<size_t> group_indices,
+                     std::vector<AggregateSpec> aggregates,
+                     std::vector<int> aggregate_attr_indices)
+    : rel_(rel),
+      group_indices_(std::move(group_indices)),
+      aggregates_(std::move(aggregates)),
+      agg_attr_indices_(std::move(aggregate_attr_indices)) {
+  // Bucket tuple indices per group key; std::map gives the deterministic
+  // sorted group order the merging phase relies on.
+  std::map<GroupKey, std::vector<size_t>, decltype(&GroupKeyLess)> buckets(
+      &GroupKeyLess);
+  for (size_t i = 0; i < rel_->size(); ++i) {
+    buckets[rel_->tuple(i).Project(group_indices_)].push_back(i);
+  }
+  group_keys_.reserve(buckets.size());
+  group_tuples_.reserve(buckets.size());
+  for (auto& [key, idxs] : buckets) {
+    group_keys_.push_back(key);
+    group_tuples_.push_back(std::move(idxs));
+  }
+  aggregators_.reserve(aggregates_.size());
+  for (const AggregateSpec& agg : aggregates_) {
+    aggregators_.push_back(CreateAggregator(agg.kind));
+  }
+  pending_.values.resize(aggregates_.size());
+}
+
+ItaStream::~ItaStream() = default;
+
+std::vector<std::string> ItaStream::value_names() const {
+  std::vector<std::string> names;
+  names.reserve(aggregates_.size());
+  for (const AggregateSpec& agg : aggregates_) names.push_back(agg.output_name);
+  return names;
+}
+
+bool ItaStream::StartNextGroup() {
+  if (current_group_ >= group_tuples_.size()) return false;
+
+  const std::vector<size_t>& tuples = group_tuples_[current_group_];
+  events_.clear();
+  events_.reserve(tuples.size() * 2);
+  for (size_t idx : tuples) {
+    const Interval& t = rel_->tuple(idx).interval();
+    events_.push_back({t.begin, /*is_start=*/true, idx});
+    events_.push_back({t.end + 1, /*is_start=*/false, idx});
+  }
+  // End events sort before start events at the same instant so that an
+  // aggregator never simultaneously holds a tuple that ended at t-1 and one
+  // that starts at t (their order is otherwise irrelevant: segments are
+  // emitted before any event at the boundary applies).
+  std::sort(events_.begin(), events_.end(),
+            [](const TupleEvent& a, const TupleEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.is_start < b.is_start;
+            });
+  event_pos_ = 0;
+  active_count_ = 0;
+  boundary_ = events_.empty() ? 0 : events_.front().time;
+  for (auto& agg : aggregators_) agg->Reset();
+  group_active_ = true;
+  return true;
+}
+
+void ItaStream::StepGroup(Segment* flushed, bool* has_flushed) {
+  *has_flushed = false;
+  PTA_DCHECK(group_active_);
+
+  // End of the current group: flush the pending coalesced segment.
+  if (event_pos_ >= events_.size()) {
+    if (pending_valid_) {
+      *flushed = pending_;
+      *has_flushed = true;
+      pending_valid_ = false;
+    }
+    group_active_ = false;
+    ++current_group_;
+    return;
+  }
+
+  const Chronon t = events_[event_pos_].time;
+
+  // Emit the elementary interval [boundary_, t-1] if tuples are active.
+  if (active_count_ > 0 && boundary_ < t) {
+    Segment cand;
+    cand.group = static_cast<int32_t>(current_group_);
+    cand.t = Interval(boundary_, t - 1);
+    cand.values.resize(aggregators_.size());
+    for (size_t d = 0; d < aggregators_.size(); ++d) {
+      cand.values[d] = aggregators_[d]->Current();
+    }
+    // Coalesce value-equivalent adjacent results (Def. 1's final step).
+    if (pending_valid_ && pending_.t.MeetsBefore(cand.t) &&
+        pending_.values == cand.values) {
+      pending_.t.end = cand.t.end;
+    } else if (pending_valid_) {
+      *flushed = pending_;
+      *has_flushed = true;
+      pending_ = std::move(cand);
+    } else {
+      pending_ = std::move(cand);
+      pending_valid_ = true;
+    }
+  }
+
+  // Apply every event at instant t.
+  while (event_pos_ < events_.size() && events_[event_pos_].time == t) {
+    const TupleEvent& ev = events_[event_pos_];
+    const Tuple& tuple = rel_->tuple(ev.tuple_idx);
+    for (size_t d = 0; d < aggregators_.size(); ++d) {
+      const int attr = agg_attr_indices_[d];
+      const double v = attr < 0 ? 0.0 : tuple.value(attr).ToDouble();
+      if (ev.is_start) {
+        aggregators_[d]->Add(v);
+      } else {
+        aggregators_[d]->Remove(v);
+      }
+    }
+    active_count_ += ev.is_start ? 1 : -1;
+    ++event_pos_;
+  }
+  boundary_ = t;
+}
+
+bool ItaStream::Next(Segment* out) {
+  while (true) {
+    if (!group_active_ && !StartNextGroup()) {
+      // All groups done; a pending segment would have been flushed by the
+      // last StepGroup call of its group.
+      return false;
+    }
+    bool has_flushed = false;
+    StepGroup(out, &has_flushed);
+    if (has_flushed) return true;
+  }
+}
+
+Result<SequentialRelation> Ita(const TemporalRelation& rel,
+                               const ItaSpec& spec) {
+  auto stream = ItaStream::Create(rel, spec);
+  if (!stream.ok()) return stream.status();
+  ItaStream& s = **stream;
+
+  SequentialRelation out(s.num_aggregates(), s.value_names());
+  Segment seg;
+  while (s.Next(&seg)) out.Append(seg);
+  out.SetGroupKeys(s.group_keys());
+  return out;
+}
+
+}  // namespace pta

@@ -1,0 +1,109 @@
+// Instant temporal aggregation (ITA), Def. 1.
+//
+// For every aggregation group g and time instant t, the aggregate functions
+// are evaluated over all tuples with grouping values g whose timestamp
+// contains t; value-equivalent results over consecutive instants are
+// coalesced into maximal intervals. The result is a sequential relation of up
+// to 2n-1 tuples.
+//
+// Two interfaces:
+//  * Ita()      — batch: materializes the full result;
+//  * ItaStream  — pull-based SegmentSource producing one coalesced result
+//                 tuple at a time, so PTA's greedy reducers can merge while
+//                 ITA is still running (Sec. 6.2's integrated evaluation).
+
+#ifndef PTA_CORE_ITA_H_
+#define PTA_CORE_ITA_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/relation.h"
+#include "pta/segment.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief An ITA query: grouping attributes A and aggregate functions F.
+struct ItaSpec {
+  std::vector<std::string> group_by;
+  std::vector<AggregateSpec> aggregates;
+};
+
+/// \brief Streaming ITA evaluation.
+///
+/// Construction validates the spec against the relation's schema and buckets
+/// the input per group; `Next()` then runs the per-group endpoint sweep
+/// lazily, emitting each coalesced result tuple as soon as it is final.
+/// Groups are emitted in their deterministic sorted order, chronologically
+/// within each group, as the merging phase requires (Sec. 5.1).
+class ItaStream : public SegmentSource {
+ public:
+  /// The relation must outlive the stream.
+  static Result<std::unique_ptr<ItaStream>> Create(const TemporalRelation& rel,
+                                                   const ItaSpec& spec);
+  ~ItaStream() override;
+
+  size_t num_aggregates() const override { return aggregates_.size(); }
+  bool Next(Segment* out) override;
+
+  /// Group keys in dense-id order (valid immediately after construction).
+  const std::vector<GroupKey>& group_keys() const { return group_keys_; }
+  /// Result attribute names B_1 ... B_p.
+  std::vector<std::string> value_names() const;
+
+ private:
+  struct Event {
+    Chronon time;
+    bool is_start;
+    double value = 0.0;  // contribution per aggregate is recomputed from this
+  };
+
+  ItaStream(const TemporalRelation* rel, std::vector<size_t> group_indices,
+            std::vector<AggregateSpec> aggregates,
+            std::vector<int> aggregate_attr_indices);
+
+  /// Loads the next group's events; false when all groups are done.
+  bool StartNextGroup();
+  /// Processes events until one segment is flushed or the group ends.
+  void StepGroup(Segment* flushed, bool* has_flushed);
+
+  const TemporalRelation* rel_;
+  std::vector<size_t> group_indices_;
+  std::vector<AggregateSpec> aggregates_;
+  std::vector<int> agg_attr_indices_;  // -1 for count
+
+  std::vector<GroupKey> group_keys_;
+  std::vector<std::vector<size_t>> group_tuples_;  // tuple idx per group
+  size_t current_group_ = 0;
+  bool group_active_ = false;
+
+  // Per-group sweep state. events_[i] holds the boundary events of the
+  // current group for aggregate dimension handling; one shared time-ordered
+  // list with per-tuple values per dimension.
+  struct TupleEvent {
+    Chronon time;
+    bool is_start;
+    size_t tuple_idx;
+  };
+  std::vector<TupleEvent> events_;
+  size_t event_pos_ = 0;
+  int64_t active_count_ = 0;
+  Chronon boundary_ = 0;
+  std::vector<std::unique_ptr<Aggregator>> aggregators_;
+
+  // Coalescing buffer.
+  bool pending_valid_ = false;
+  Segment pending_;
+};
+
+/// Batch ITA: materializes the full sequential result with group keys
+/// attached. Equivalent to draining an ItaStream.
+Result<SequentialRelation> Ita(const TemporalRelation& rel,
+                               const ItaSpec& spec);
+
+}  // namespace pta
+
+#endif  // PTA_CORE_ITA_H_

@@ -1,0 +1,100 @@
+#include "core/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pta {
+
+Status TemporalRelation::Insert(std::vector<Value> values, Interval t) {
+  PTA_RETURN_IF_ERROR(schema_.ValidateRow(values));
+  if (t.begin > t.end) {
+    return Status::InvalidArgument("interval begin exceeds end");
+  }
+  tuples_.emplace_back(std::move(values), t);
+  return Status::Ok();
+}
+
+Status TemporalRelation::Insert(Tuple tuple) {
+  PTA_RETURN_IF_ERROR(schema_.ValidateRow(tuple.values()));
+  if (tuple.interval().begin > tuple.interval().end) {
+    return Status::InvalidArgument("interval begin exceeds end");
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::Ok();
+}
+
+void TemporalRelation::SortByGroupThenTime(
+    const std::vector<size_t>& group_indices) {
+  std::stable_sort(
+      tuples_.begin(), tuples_.end(),
+      [&group_indices](const Tuple& a, const Tuple& b) {
+        for (size_t idx : group_indices) {
+          if (a.value(idx) < b.value(idx)) return true;
+          if (b.value(idx) < a.value(idx)) return false;
+        }
+        if (a.interval().begin != b.interval().begin) {
+          return a.interval().begin < b.interval().begin;
+        }
+        return a.interval().end < b.interval().end;
+      });
+}
+
+bool TemporalRelation::IsSequential(
+    const std::vector<size_t>& group_indices) const {
+  // Bucket intervals per group, then check pairwise disjointness within each
+  // bucket by sorting.
+  std::unordered_map<GroupKey, std::vector<Interval>, GroupKeyHasher> groups;
+  for (const Tuple& t : tuples_) {
+    groups[t.Project(group_indices)].push_back(t.interval());
+  }
+  for (auto& [key, intervals] : groups) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Interval& a, const Interval& b) {
+                return a.begin < b.begin;
+              });
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i - 1].end >= intervals[i].begin) return false;
+    }
+  }
+  return true;
+}
+
+Result<Interval> TemporalRelation::TimeSpan() const {
+  if (tuples_.empty()) {
+    return Status::FailedPrecondition("relation is empty");
+  }
+  Chronon lo = tuples_.front().interval().begin;
+  Chronon hi = tuples_.front().interval().end;
+  for (const Tuple& t : tuples_) {
+    lo = std::min(lo, t.interval().begin);
+    hi = std::max(hi, t.interval().end);
+  }
+  return Interval(lo, hi);
+}
+
+bool TemporalRelation::SameTuples(const TemporalRelation& other) const {
+  if (size() != other.size()) return false;
+  auto key = [](const Tuple& t) {
+    std::string k = t.ToString();
+    return k;
+  };
+  std::vector<std::string> a, b;
+  a.reserve(size());
+  b.reserve(size());
+  for (const Tuple& t : tuples_) a.push_back(key(t));
+  for (const Tuple& t : other.tuples_) b.push_back(key(t));
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+std::string TemporalRelation::ToString() const {
+  std::string out;
+  for (const Tuple& t : tuples_) {
+    out += t.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace pta

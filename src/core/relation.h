@@ -1,0 +1,63 @@
+// Temporal relations: a schema plus a multiset of temporal tuples, with the
+// ordering and sequentiality helpers the aggregation operators rely on.
+
+#ifndef PTA_CORE_RELATION_H_
+#define PTA_CORE_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/schema.h"
+#include "core/tuple.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief A temporal relation: schema + tuples, each with a validity interval.
+class TemporalRelation {
+ public:
+  TemporalRelation() = default;
+  explicit TemporalRelation(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& tuple(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Appends a tuple after validating it against the schema.
+  Status Insert(std::vector<Value> values, Interval t);
+  /// Appends a pre-built tuple after validating it against the schema.
+  Status Insert(Tuple tuple);
+  /// Appends without validation; for trusted internal producers.
+  void InsertUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
+
+  void Clear() { tuples_.clear(); }
+  void Reserve(size_t n) { tuples_.reserve(n); }
+
+  /// Sorts tuples by their projection onto `group_indices`
+  /// (lexicographically), then chronologically by interval begin, then end.
+  /// This is the input order the PTA merging phase assumes (Sec. 5.1).
+  void SortByGroupThenTime(const std::vector<size_t>& group_indices);
+
+  /// True if within every group (projection onto `group_indices`) the tuple
+  /// timestamps are pairwise disjoint — the paper's *sequential* property.
+  bool IsSequential(const std::vector<size_t>& group_indices) const;
+
+  /// Minimum and maximum chronon covered by any tuple; fails on empty input.
+  Result<Interval> TimeSpan() const;
+
+  /// Multiset equality (order-insensitive); used by tests.
+  bool SameTuples(const TemporalRelation& other) const;
+
+  /// Renders all tuples, one per line.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace pta
+
+#endif  // PTA_CORE_RELATION_H_

@@ -1,0 +1,74 @@
+#include "core/schema.h"
+
+namespace pta {
+
+Schema::Schema(std::vector<AttributeDef> attributes)
+    : attributes_(std::move(attributes)) {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    for (size_t j = i + 1; j < attributes_.size(); ++j) {
+      PTA_CHECK_MSG(attributes_[i].name != attributes_[j].name,
+                    "duplicate attribute name in schema");
+    }
+  }
+}
+
+Status Schema::AddAttribute(const std::string& name, ValueType type) {
+  if (IndexOf(name) >= 0) {
+    return Status::InvalidArgument("duplicate attribute name: " + name);
+  }
+  attributes_.push_back({name, type});
+  return Status::Ok();
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<std::vector<size_t>> Schema::ResolveAll(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    const int idx = IndexOf(name);
+    if (idx < 0) {
+      return Status::NotFound("unknown attribute: " + name);
+    }
+    out.push_back(static_cast<size_t>(idx));
+  }
+  return out;
+}
+
+Status Schema::ValidateRow(const std::vector<Value>& values) const {
+  if (values.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " + std::to_string(attributes_.size()));
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i].is_null()) continue;
+    if (values[i].type() != attributes_[i].type) {
+      return Status::InvalidArgument(
+          "attribute " + attributes_[i].name + " expects " +
+          ValueTypeName(attributes_[i].type) + " but got " +
+          ValueTypeName(values[i].type()));
+    }
+  }
+  return Status::Ok();
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += ":";
+    out += ValueTypeName(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pta

@@ -1,0 +1,65 @@
+// Relation schemas: named, typed non-temporal attributes. Every temporal
+// relation additionally carries an implicit timestamp attribute T (Sec. 3).
+
+#ifndef PTA_CORE_SCHEMA_H_
+#define PTA_CORE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/value.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// One named, typed attribute.
+struct AttributeDef {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  bool operator==(const AttributeDef& other) const = default;
+};
+
+/// \brief Ordered list of non-temporal attributes of a temporal relation.
+///
+/// The timestamp attribute T is implicit: every tuple carries an Interval in
+/// addition to its attribute values.
+class Schema {
+ public:
+  Schema() = default;
+  /// Builds a schema from attribute definitions; names must be unique.
+  explicit Schema(std::vector<AttributeDef> attributes);
+
+  /// Appends an attribute; the name must not already exist.
+  Status AddAttribute(const std::string& name, ValueType type);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+
+  /// Index of the named attribute, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  /// Resolves a list of attribute names to indices; fails on the first
+  /// unknown name.
+  Result<std::vector<size_t>> ResolveAll(
+      const std::vector<std::string>& names) const;
+
+  /// Checks that a row of values matches this schema's arity and types
+  /// (null is accepted for any declared type).
+  Status ValidateRow(const std::vector<Value>& values) const;
+
+  bool operator==(const Schema& other) const {
+    return attributes_ == other.attributes_;
+  }
+
+  /// Renders "(name:type, ...)".
+  std::string ToString() const;
+
+ private:
+  std::vector<AttributeDef> attributes_;
+};
+
+}  // namespace pta
+
+#endif  // PTA_CORE_SCHEMA_H_

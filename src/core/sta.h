@@ -1,0 +1,35 @@
+// Span temporal aggregation (STA), Sec. 1-2: the application fixes the
+// reporting intervals (e.g. one per trimester); for every group and span a
+// result tuple aggregates over all argument tuples overlapping the span.
+
+#ifndef PTA_CORE_STA_H_
+#define PTA_CORE_STA_H_
+
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief An STA query: grouping attributes, aggregates, reporting spans.
+struct StaSpec {
+  std::vector<std::string> group_by;
+  std::vector<AggregateSpec> aggregates;
+  /// The reporting intervals; must be non-empty and pairwise disjoint.
+  std::vector<Interval> spans;
+};
+
+/// Builds `count` consecutive spans of `width` chronons starting at `start`
+/// (e.g. trimesters: MakeSpans(1, 4, 2) -> [1,4], [5,8]).
+std::vector<Interval> MakeSpans(Chronon start, int64_t width, size_t count);
+
+/// Evaluates the STA query. The result schema is (group attrs..., aggregate
+/// outputs...) with one tuple per (group, span) pair for which at least one
+/// argument tuple overlaps the span.
+Result<TemporalRelation> Sta(const TemporalRelation& rel, const StaSpec& spec);
+
+}  // namespace pta
+
+#endif  // PTA_CORE_STA_H_

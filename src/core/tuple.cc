@@ -1,0 +1,22 @@
+#include "core/tuple.h"
+
+namespace pta {
+
+GroupKey Tuple::Project(const std::vector<size_t>& indices) const {
+  GroupKey key;
+  key.reserve(indices.size());
+  for (size_t i : indices) {
+    PTA_DCHECK(i < values_.size());
+    key.push_back(values_[i]);
+  }
+  return key;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = GroupKeyToString(values_);
+  out += " @ ";
+  out += t_.ToString();
+  return out;
+}
+
+}  // namespace pta

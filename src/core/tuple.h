@@ -1,0 +1,49 @@
+// A temporal tuple: non-temporal attribute values plus a validity interval.
+
+#ifndef PTA_CORE_TUPLE_H_
+#define PTA_CORE_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interval.h"
+#include "core/value.h"
+
+namespace pta {
+
+/// \brief One tuple of a temporal relation (Sec. 3): r = (v1, ..., vm, t).
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::vector<Value> values, Interval t)
+      : values_(std::move(values)), t_(t) {}
+
+  const std::vector<Value>& values() const { return values_; }
+  const Value& value(size_t i) const { return values_[i]; }
+  const Interval& interval() const { return t_; }
+
+  /// Projection onto a set of attribute indices (r.A of Sec. 3); used to
+  /// build grouping keys.
+  GroupKey Project(const std::vector<size_t>& indices) const;
+
+  /// True if the two tuples agree on all non-temporal attributes
+  /// (value-equivalence, the precondition of coalescing).
+  bool ValueEquivalent(const Tuple& other) const {
+    return values_ == other.values_;
+  }
+
+  bool operator==(const Tuple& other) const {
+    return values_ == other.values_ && t_ == other.t_;
+  }
+
+  /// Renders "(v1, ..., vm) @ [tb, te]".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+  Interval t_;
+};
+
+}  // namespace pta
+
+#endif  // PTA_CORE_TUPLE_H_

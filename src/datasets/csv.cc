@@ -1,0 +1,205 @@
+#include "datasets/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace pta {
+
+namespace {
+
+bool NeedsQuoting(const std::string& s) {
+  return s.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& s) {
+  if (!NeedsQuoting(s)) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += "\"";
+  return out;
+}
+
+// Splits one CSV record (no embedded newlines across records in our writer's
+// output; the parser still honors quoted newlines within a line buffer).
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += ch;
+      }
+    } else if (ch == '"') {
+      if (!cur.empty()) {
+        return Status::InvalidArgument("unexpected quote inside cell");
+      }
+      in_quotes = true;
+    } else if (ch == ',') {
+      cells.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += ch;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted cell");
+  }
+  cells.push_back(std::move(cur));
+  return cells;
+}
+
+Result<Value> ParseValue(const std::string& cell, ValueType type) {
+  if (cell.empty()) return Value();  // null
+  char* end = nullptr;
+  switch (type) {
+    case ValueType::kInt64: {
+      const long long v = std::strtoll(cell.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad int64 cell: " + cell);
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      const double v = std::strtod(cell.c_str(), &end);
+      if (end == nullptr || *end != '\0') {
+        return Status::InvalidArgument("bad double cell: " + cell);
+      }
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(cell);
+    case ValueType::kNull:
+      return Status::InvalidArgument("cannot parse into null-typed column");
+  }
+  return Status::InvalidArgument("unknown value type");
+}
+
+}  // namespace
+
+std::string RelationToCsv(const TemporalRelation& rel) {
+  std::string out;
+  const Schema& schema = rel.schema();
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    out += QuoteCell(schema.attribute(i).name);
+    out += ",";
+  }
+  out += "tb,te\n";
+  char buf[64];
+  for (const Tuple& t : rel.tuples()) {
+    for (size_t i = 0; i < t.values().size(); ++i) {
+      const Value& v = t.value(i);
+      if (v.type() == ValueType::kDouble) {
+        // Round-trippable double formatting.
+        std::snprintf(buf, sizeof(buf), "%.17g", v.AsDoubleExact());
+        out += buf;
+      } else if (!v.is_null()) {
+        out += QuoteCell(v.ToString());
+      }
+      out += ",";
+    }
+    std::snprintf(buf, sizeof(buf), "%lld,%lld",
+                  static_cast<long long>(t.interval().begin),
+                  static_cast<long long>(t.interval().end));
+    out += buf;
+    out += "\n";
+  }
+  return out;
+}
+
+Result<TemporalRelation> RelationFromCsv(const std::string& text,
+                                         const Schema& schema) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty CSV input");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  auto header = SplitCsvLine(line);
+  if (!header.ok()) return header.status();
+  if (header->size() != schema.num_attributes() + 2) {
+    return Status::InvalidArgument("CSV header arity mismatch");
+  }
+  for (size_t i = 0; i < schema.num_attributes(); ++i) {
+    if ((*header)[i] != schema.attribute(i).name) {
+      return Status::InvalidArgument("CSV header column " +
+                                     std::to_string(i) + " is '" +
+                                     (*header)[i] + "', expected '" +
+                                     schema.attribute(i).name + "'");
+    }
+  }
+  if ((*header)[schema.num_attributes()] != "tb" ||
+      (*header)[schema.num_attributes() + 1] != "te") {
+    return Status::InvalidArgument("CSV must end with tb,te columns");
+  }
+
+  TemporalRelation rel(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto cells = SplitCsvLine(line);
+    if (!cells.ok()) return cells.status();
+    if (cells->size() != schema.num_attributes() + 2) {
+      return Status::InvalidArgument("CSV row " + std::to_string(line_no) +
+                                     " arity mismatch");
+    }
+    std::vector<Value> row;
+    row.reserve(schema.num_attributes());
+    for (size_t i = 0; i < schema.num_attributes(); ++i) {
+      auto v = ParseValue((*cells)[i], schema.attribute(i).type);
+      if (!v.ok()) return v.status();
+      row.push_back(std::move(*v));
+    }
+    auto tb = ParseValue((*cells)[schema.num_attributes()], ValueType::kInt64);
+    if (!tb.ok()) return tb.status();
+    auto te =
+        ParseValue((*cells)[schema.num_attributes() + 1], ValueType::kInt64);
+    if (!te.ok()) return te.status();
+    if (tb->is_null() || te->is_null()) {
+      return Status::InvalidArgument("CSV row " + std::to_string(line_no) +
+                                     " has empty timestamp");
+    }
+    if (tb->AsInt64() > te->AsInt64()) {
+      return Status::InvalidArgument("CSV row " + std::to_string(line_no) +
+                                     " has tb > te");
+    }
+    PTA_RETURN_IF_ERROR(
+        rel.Insert(std::move(row), Interval(tb->AsInt64(), te->AsInt64())));
+  }
+  return rel;
+}
+
+Status WriteCsvFile(const TemporalRelation& rel, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  const std::string text = RelationToCsv(rel);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Result<TemporalRelation> ReadCsvFile(const std::string& path,
+                                     const Schema& schema) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return RelationFromCsv(buf.str(), schema);
+}
+
+}  // namespace pta

@@ -1,0 +1,31 @@
+// CSV import/export of temporal relations, so downstream users can run PTA
+// on their own data. Format: a header row with the attribute names followed
+// by the two timestamp columns "tb" and "te"; string cells containing
+// commas, quotes or newlines are double-quoted with "" escaping.
+
+#ifndef PTA_DATASETS_CSV_H_
+#define PTA_DATASETS_CSV_H_
+
+#include <string>
+
+#include "core/relation.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// Serializes a relation to CSV text.
+std::string RelationToCsv(const TemporalRelation& rel);
+
+/// Parses CSV text against an expected schema (header must match the schema
+/// attribute names followed by tb, te).
+Result<TemporalRelation> RelationFromCsv(const std::string& text,
+                                         const Schema& schema);
+
+/// File variants.
+Status WriteCsvFile(const TemporalRelation& rel, const std::string& path);
+Result<TemporalRelation> ReadCsvFile(const std::string& path,
+                                     const Schema& schema);
+
+}  // namespace pta
+
+#endif  // PTA_DATASETS_CSV_H_

@@ -1,0 +1,91 @@
+#include "datasets/etds.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace pta {
+
+namespace {
+
+const char* const kTitles[] = {"Engineer", "Senior Engineer", "Staff",
+                               "Manager", "Director", "Analyst", "Clerk"};
+
+}  // namespace
+
+TemporalRelation GenerateEtds(const EtdsOptions& options) {
+  TemporalRelation rel{Schema({{"EmpNo", ValueType::kInt64},
+                               {"Sex", ValueType::kString},
+                               {"Dept", ValueType::kString},
+                               {"Title", ValueType::kString},
+                               {"Salary", ValueType::kDouble}})};
+  Random rng(options.seed);
+
+  for (size_t emp = 0; emp < options.num_employees; ++emp) {
+    const std::string sex = rng.Bernoulli(0.5) ? "F" : "M";
+    // Contract periods: alternating employment and absence stretches.
+    Chronon t = rng.UniformInt(0, options.num_months / 4);
+    const size_t contracts = 1 + static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(2.0 * options.contracts_per_employee) - 1));
+    double salary = 2000.0 + 100.0 * rng.UniformInt(0, 40);
+    for (size_t contract = 0; contract < contracts; ++contract) {
+      if (t >= options.num_months) break;
+      const std::string dept =
+          "D" + std::to_string(rng.UniformInt(
+                    1, static_cast<int64_t>(options.num_departments)));
+      const std::string title =
+          kTitles[rng.UniformInt(0, std::size(kTitles) - 1)];
+      Chronon contract_end =
+          std::min<Chronon>(options.num_months - 1,
+                            t + rng.UniformInt(6, options.num_months / 2));
+      // Piecewise-constant salary within the contract: one tuple per salary
+      // period.
+      Chronon period_start = t;
+      for (Chronon month = t; month <= contract_end; ++month) {
+        const bool last = month == contract_end;
+        const bool raise =
+            !last && rng.Bernoulli(options.raise_probability);
+        if (raise || last) {
+          PTA_CHECK(rel.Insert({Value(static_cast<int64_t>(emp)), Value(sex),
+                                Value(dept), Value(title), Value(salary)},
+                               Interval(period_start, month))
+                        .ok());
+          if (raise) {
+            salary += 100.0 * rng.UniformInt(1, 8);
+            period_start = month + 1;
+          }
+        }
+      }
+      // Concurrent secondary assignment inside the same department: its
+      // interval overlaps the contract, so the grouped ITA result splits
+      // tuples and can exceed the input size.
+      if (rng.Bernoulli(options.overlap_probability) &&
+          contract_end - t >= 4) {
+        const Chronon mid_lo = t + 1;
+        const Chronon mid_hi = contract_end - 1;
+        Chronon ob = mid_lo + rng.UniformInt(0, mid_hi - mid_lo);
+        Chronon oe = std::min<Chronon>(contract_end,
+                                       ob + rng.UniformInt(2, 18));
+        const double allowance = 100.0 * rng.UniformInt(2, 10);
+        PTA_CHECK(rel.Insert({Value(static_cast<int64_t>(emp)), Value(sex),
+                              Value(dept), Value("Allowance"),
+                              Value(allowance)},
+                             Interval(ob, oe))
+                      .ok());
+      }
+
+      // Absence before the next contract.
+      t = contract_end + 1 + rng.UniformInt(3, 24);
+    }
+  }
+  return rel;
+}
+
+ItaSpec EtdsQueryE1() { return {{}, {Avg("Salary", "AvgSalary")}}; }
+ItaSpec EtdsQueryE2() { return {{}, {Max("Salary", "MaxSalary")}}; }
+ItaSpec EtdsQueryE3() { return {{}, {Sum("Salary", "SumSalary")}}; }
+ItaSpec EtdsQueryE4() {
+  return {{"EmpNo", "Dept"}, {Avg("Salary", "AvgSalary")}};
+}
+
+}  // namespace pta

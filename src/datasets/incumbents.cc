@@ -1,0 +1,68 @@
+#include "datasets/incumbents.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace pta {
+
+TemporalRelation GenerateIncumbents(const IncumbentsOptions& options) {
+  TemporalRelation rel{Schema({{"Dept", ValueType::kString},
+                               {"Proj", ValueType::kString},
+                               {"Salary", ValueType::kDouble}})};
+  Random rng(options.seed);
+
+  for (size_t dept = 0; dept < options.num_departments; ++dept) {
+    const std::string dept_name = "Dept" + std::to_string(dept + 1);
+    for (size_t proj = 0; proj < options.projects_per_department; ++proj) {
+      const std::string proj_name =
+          dept_name + "-P" + std::to_string(proj + 1);
+      Chronon t = rng.UniformInt(0, options.num_months / 6);
+      // Assignment waves separated by optional pauses.
+      while (t < options.num_months) {
+        const Chronon wave_end = std::min<Chronon>(
+            options.num_months - 1, t + rng.UniformInt(6, 48));
+        const size_t incumbents = 1 + static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(options.incumbents_per_project) - 1));
+        for (size_t k = 0; k < incumbents; ++k) {
+          // Each incumbent holds one or more consecutive salary periods
+          // inside the wave; the first incumbent starts at the wave start
+          // so consecutive waves stay temporally connected.
+          Chronon s = k == 0 ? t
+                             : t + rng.UniformInt(
+                                       0, std::max<int64_t>(
+                                              1, (wave_end - t) / 2));
+          double salary = 1500.0 + 250.0 * rng.UniformInt(0, 20);
+          while (s <= wave_end) {
+            const Chronon e =
+                std::min<Chronon>(wave_end, s + rng.UniformInt(2, 18));
+            PTA_CHECK(rel.Insert({Value(dept_name), Value(proj_name),
+                                  Value(salary)},
+                                 Interval(s, e))
+                          .ok());
+            salary += 250.0 * rng.UniformInt(-1, 2);
+            salary = std::max(salary, 1000.0);
+            s = e + 1;
+          }
+        }
+        t = wave_end + 1;
+        if (rng.Bernoulli(options.gap_probability)) {
+          t += rng.UniformInt(3, 18);  // project pause -> temporal gap
+        }
+      }
+    }
+  }
+  return rel;
+}
+
+ItaSpec IncumbentsQueryI1() {
+  return {{"Dept", "Proj"}, {Avg("Salary", "AvgSalary")}};
+}
+ItaSpec IncumbentsQueryI2() {
+  return {{"Dept", "Proj"}, {Max("Salary", "MaxSalary")}};
+}
+ItaSpec IncumbentsQueryI3() {
+  return {{"Dept", "Proj"}, {Sum("Salary", "SumSalary")}};
+}
+
+}  // namespace pta

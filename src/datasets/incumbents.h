@@ -1,0 +1,43 @@
+// Incumbents-like dataset (substitute for the University of Arizona's
+// Incumbents relation, Table 1(b); see DESIGN.md §2.4).
+//
+// Records salary incumbency per (department, project): assignments hold over
+// month intervals, change salary over time, and are interrupted by
+// re-assignment gaps — giving the grouped, gappy ITA results (cmin > 1) that
+// exercise the paper's pruning rules.
+
+#ifndef PTA_DATASETS_INCUMBENTS_H_
+#define PTA_DATASETS_INCUMBENTS_H_
+
+#include <cstdint>
+
+#include "core/ita.h"
+#include "core/relation.h"
+
+namespace pta {
+
+/// \brief Generator parameters; structure mirrors the 84k-tuple original at
+/// configurable scale.
+struct IncumbentsOptions {
+  size_t num_departments = 10;
+  size_t projects_per_department = 8;
+  /// Months covered.
+  int64_t num_months = 360;
+  /// Concurrent incumbents per project (drives ITA fan-out).
+  size_t incumbents_per_project = 4;
+  /// Probability that a project pauses after an assignment wave (gaps).
+  double gap_probability = 0.25;
+  uint64_t seed = 42;
+};
+
+/// Schema: (Dept:string, Proj:string, Salary:double), monthly intervals.
+TemporalRelation GenerateIncumbents(const IncumbentsOptions& options);
+
+/// The paper's ITA queries over the Incumbents relation (Table 1(b)).
+ItaSpec IncumbentsQueryI1();  // avg(Salary) by Dept, Proj
+ItaSpec IncumbentsQueryI2();  // max(Salary) by Dept, Proj
+ItaSpec IncumbentsQueryI3();  // sum(Salary) by Dept, Proj
+
+}  // namespace pta
+
+#endif  // PTA_DATASETS_INCUMBENTS_H_

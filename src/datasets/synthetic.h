@@ -1,0 +1,52 @@
+// Synthetic workloads matching the paper's large-scale dataset (Sec. 7.1,
+// Table 1(d)): uniformly distributed aggregate values, one optional grouping
+// attribute, no data-induced bias.
+
+#ifndef PTA_DATASETS_SYNTHETIC_H_
+#define PTA_DATASETS_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "core/relation.h"
+#include "pta/segment.h"
+
+namespace pta {
+
+/// \brief Parameters of the synthetic base relation.
+struct SyntheticOptions {
+  /// Number of tuples.
+  size_t num_tuples = 10000;
+  /// Number of aggregate attributes (uniform in [0, 1000)).
+  size_t num_dims = 10;
+  /// Number of distinct values of the grouping attribute.
+  size_t num_groups = 1;
+  /// Maximum tuple duration in chronons.
+  int64_t max_duration = 20;
+  /// Time-domain span the tuple start points are drawn from.
+  int64_t time_span = 100000;
+  uint64_t seed = 42;
+};
+
+/// Generates a base TemporalRelation with schema
+/// (G:int64, A1..Ap:double) and random validity intervals.
+TemporalRelation GenerateSyntheticRelation(const SyntheticOptions& options);
+
+/// Generates an ITA-shaped SequentialRelation directly: `num_groups` groups
+/// of `tuples_per_group` unit-interval segments each with uniform values in
+/// [0, 1000). Queries S1 (num_groups = 1, cmin = 1) and S2 (many groups,
+/// cmin = num_groups) of Table 1(d) are instances of this, as are the
+/// "sequential subsets of the synthetic dataset" driving Figs. 18-21.
+SequentialRelation GenerateSyntheticSequential(size_t num_groups,
+                                               size_t tuples_per_group,
+                                               size_t num_dims, uint64_t seed);
+
+/// Like GenerateSyntheticSequential with a single group, but punches
+/// `num_gaps` one-chronon holes into the timeline, producing
+/// cmin = num_gaps + 1 runs.
+SequentialRelation GenerateSyntheticWithGaps(size_t num_tuples,
+                                             size_t num_dims, size_t num_gaps,
+                                             uint64_t seed);
+
+}  // namespace pta
+
+#endif  // PTA_DATASETS_SYNTHETIC_H_

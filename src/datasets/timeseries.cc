@@ -1,0 +1,129 @@
+#include "datasets/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace pta {
+
+std::vector<double> MackeyGlass(size_t n, uint64_t seed) {
+  PTA_CHECK(n >= 1);
+  // dx/dt = beta * x(t - tau) / (1 + x(t - tau)^10) - gamma * x(t),
+  // integrated with Euler steps; tau = 17 gives chaos.
+  constexpr double kBeta = 0.2;
+  constexpr double kGamma = 0.1;
+  constexpr double kStep = 1.0;
+  constexpr size_t kTau = 17;
+  // The flow is sampled every kSample integration steps: the UCR series is
+  // coarsely sampled, which is what makes it look erratic point-to-point.
+  constexpr size_t kSample = 6;
+  const size_t warmup = 300;
+
+  Random rng(seed);
+  std::vector<double> x(n * kSample + warmup + kTau + 1, 0.0);
+  for (size_t i = 0; i <= kTau; ++i) x[i] = 1.1 + 0.1 * rng.NextDouble();
+  for (size_t i = kTau; i + 1 < x.size(); ++i) {
+    const double delayed = x[i - kTau];
+    const double dx =
+        kBeta * delayed / (1.0 + std::pow(delayed, 10.0)) - kGamma * x[i];
+    x[i + 1] = x[i] + kStep * dx;
+  }
+  // Scale to a salary-like magnitude and add mild observation noise (the
+  // UCR chaotic.dat series is a measured signal, not a clean integration;
+  // without noise, global polynomial fits become unrealistically strong).
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] =
+        1000.0 * x[warmup + kTau + i * kSample] + 4.0 * rng.NextGaussian();
+  }
+  return out;
+}
+
+std::vector<double> Tide(size_t n, uint64_t seed) {
+  PTA_CHECK(n >= 1);
+  // Hourly samples; periods in hours of the dominant constituents.
+  struct Constituent {
+    double period;
+    double amplitude;
+    double phase;
+  };
+  const Constituent constituents[] = {
+      {12.4206, 120.0, 0.3},  // M2
+      {12.0000, 45.0, 1.1},   // S2
+      {23.9345, 30.0, 2.0},   // K1
+      {25.8193, 22.0, 0.7},   // O1
+  };
+  Random rng(seed);
+  std::vector<double> out(n);
+  double drift = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i);
+    double v = 500.0;
+    for (const Constituent& c : constituents) {
+      v += c.amplitude *
+           std::sin(2.0 * 3.14159265358979323846 * t / c.period + c.phase);
+    }
+    drift = 0.995 * drift + 0.8 * rng.NextGaussian();  // weather surge
+    out[i] = v + drift + 2.0 * rng.NextGaussian();     // observation noise
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Wind(size_t n, size_t dims, uint64_t seed) {
+  PTA_CHECK(n >= 1 && dims >= 1);
+  Random rng(seed);
+  // Shared regional wind field plus station-local AR(1) fluctuations.
+  std::vector<std::vector<double>> out(dims, std::vector<double>(n));
+  std::vector<double> local(dims, 0.0);
+  double regional = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    regional = 0.98 * regional + 1.5 * rng.NextGaussian();
+    for (size_t d = 0; d < dims; ++d) {
+      local[d] = 0.9 * local[d] + rng.NextGaussian();
+      out[d][i] = 20.0 + regional + 3.0 * local[d] +
+                  0.5 * static_cast<double>(d);
+    }
+  }
+  return out;
+}
+
+SequentialRelation WindRelation(size_t n, size_t dims, size_t num_gaps,
+                                uint64_t seed) {
+  const std::vector<std::vector<double>> series = Wind(n, dims, seed);
+  num_gaps = std::min(num_gaps, n > 1 ? n - 1 : 0);
+
+  // Pick gap positions (indices after which a stretch is missing).
+  Random rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<size_t> positions;
+  positions.reserve(num_gaps);
+  std::vector<size_t> all(n - 1);
+  for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+  for (size_t i = 0; i < num_gaps; ++i) {
+    const size_t j =
+        i + static_cast<size_t>(
+                rng.UniformInt(0, static_cast<int64_t>(all.size() - i) - 1));
+    std::swap(all[i], all[j]);
+    positions.push_back(all[i]);
+  }
+  std::sort(positions.begin(), positions.end());
+
+  SequentialRelation rel(dims);
+  rel.Reserve(n);
+  std::vector<double> row(dims);
+  Chronon t = 0;
+  size_t next_gap = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims; ++d) row[d] = series[d][i];
+    rel.Append(0, Interval(t, t), row.data());
+    ++t;
+    if (next_gap < positions.size() && positions[next_gap] == i) {
+      t += static_cast<Chronon>(rng.UniformInt(1, 5));  // sensor outage
+      ++next_gap;
+    }
+  }
+  rel.SetGroupKeys({GroupKey{}});
+  return rel;
+}
+
+}  // namespace pta

@@ -1,0 +1,37 @@
+// Synthetic substitutes for the UCR time-series datasets of Table 1(c)
+// (see DESIGN.md §2.4):
+//  * T1 chaotic.dat -> Mackey-Glass chaotic series (1 800 points)
+//  * T2 tide.dat    -> harmonic tidal constituents + noise (8 746 points)
+//  * T3 wind.dat    -> 12 correlated AR(1) dimensions with missing
+//                      stretches, yielding a gappy multi-dim relation
+
+#ifndef PTA_DATASETS_TIMESERIES_H_
+#define PTA_DATASETS_TIMESERIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pta/segment.h"
+
+namespace pta {
+
+/// Mackey-Glass delay-differential chaotic series (the classic benchmark
+/// generator; tau = 17 puts it in the chaotic regime).
+std::vector<double> MackeyGlass(size_t n, uint64_t seed = 42);
+
+/// Tide-gauge-like series: the four dominant tidal constituents (M2, S2, K1,
+/// O1) plus slow weather drift and observation noise.
+std::vector<double> Tide(size_t n, uint64_t seed = 42);
+
+/// `dims` correlated AR(1) wind-component series.
+std::vector<std::vector<double>> Wind(size_t n, size_t dims = 12,
+                                      uint64_t seed = 42);
+
+/// Wind data as a sequential relation with `num_gaps` missing stretches
+/// removed from the timeline (sensor outages), so cmin = num_gaps + 1.
+SequentialRelation WindRelation(size_t n, size_t dims, size_t num_gaps,
+                                uint64_t seed = 42);
+
+}  // namespace pta
+
+#endif  // PTA_DATASETS_TIMESERIES_H_

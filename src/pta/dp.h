@@ -1,0 +1,79 @@
+// Dynamic-programming evaluation of PTA (Sec. 5).
+//
+// ReduceToSizeDp implements PTAc (Fig. 7): an optimal reduction of an ITA
+// result to c tuples. ReduceToErrorDp implements PTAε (Fig. 8): the maximal
+// reduction whose error stays within ε of the largest possible error. Both
+// use the O(p) run-SSE of Prop. 1; the pruning rules of Sec. 5.3 (imax from
+// the gap vector, jmin from the right-most gap, and the early loop break of
+// Jagadish et al.) can be disabled to obtain the plain DP baseline used in
+// the paper's Fig. 18/19 comparison.
+
+#ifndef PTA_PTA_DP_H_
+#define PTA_PTA_DP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pta/error.h"
+#include "pta/segment.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief Tuning knobs for the DP algorithms.
+struct DpOptions {
+  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
+  std::vector<double> weights;
+  /// Enables the gap-derived imax / jmin bounds (Sec. 5.3).
+  bool use_pruning = true;
+  /// Enables the monotone early break of the inner j loop (Sec. 5.4).
+  bool use_early_break = true;
+  /// Future-work extension (Sec. 8): allow merging tuples that are
+  /// separated by a temporal gap (group boundaries still separate). The
+  /// merged timestamp is the hull; values are weighted by covered length.
+  bool merge_across_gaps = false;
+};
+
+/// \brief Work counters for performance experiments.
+struct DpStats {
+  /// Inner-loop (j) iterations, i.e. candidate split evaluations.
+  uint64_t inner_iterations = 0;
+  /// Number of DP rows (values of k) filled.
+  uint64_t rows_filled = 0;
+};
+
+/// Size-bounded PTA, exact (PTAc, Fig. 7). Requires cmin <= c; if
+/// c >= input size the input is returned unchanged with zero error.
+Result<Reduction> ReduceToSizeDp(const SequentialRelation& ita, size_t c,
+                                 const DpOptions& options = {},
+                                 DpStats* stats = nullptr);
+
+/// Error-bounded PTA, exact (PTAε, Fig. 8). Requires 0 <= eps <= 1; finds
+/// the smallest k whose optimal reduction has SSE <= eps * Emax.
+Result<Reduction> ReduceToErrorDp(const SequentialRelation& ita, double eps,
+                                  const DpOptions& options = {},
+                                  DpStats* stats = nullptr);
+
+/// Optimal error for every output size k = 1..max_c in one DP sweep
+/// (out[k-1] = SSE of the optimal reduction to k tuples; infinity for
+/// k < cmin). Stores only two error rows, so it scales to the full error
+/// curves of Fig. 14/15 without the O(n^2) split matrix.
+Result<std::vector<double>> DpErrorCurve(const SequentialRelation& ita,
+                                         size_t max_c,
+                                         const DpOptions& options = {},
+                                         DpStats* stats = nullptr);
+
+/// \brief Full DP matrices for small inputs (tests reproducing Fig. 4/5).
+///
+/// error[k-1][i-1] is E_{k,i}; split[k-1][i-1] is J_{k,i} (1-based split
+/// points as in the paper, 0 meaning "merge everything up to i").
+struct DpMatrices {
+  std::vector<std::vector<double>> error;
+  std::vector<std::vector<int64_t>> split;
+};
+Result<DpMatrices> ComputeDpMatrices(const SequentialRelation& ita, size_t c,
+                                     const DpOptions& options = {});
+
+}  // namespace pta
+
+#endif  // PTA_PTA_DP_H_

@@ -1,0 +1,86 @@
+// Greedy evaluation of PTA (Sec. 6).
+//
+// GmsReduceToSize / GmsReduceToError implement the greedy merging strategy
+// (GMS, Sec. 6.1) over a materialized ITA result: repeatedly merge the most
+// similar adjacent pair. Its error is within O(log n) of the optimum
+// (Theorem 1).
+//
+// GreedyReduceToSize (gPTAc, Fig. 11) and GreedyReduceToError (gPTAε,
+// Fig. 13) consume a SegmentSource and merge while ITA tuples are still
+// being produced, keeping only c + beta live tuples. Safe early merges are
+// identified by Prop. 3 / Prop. 4; the read-ahead parameter delta trades a
+// slightly larger heap for results closer to GMS (delta = infinity
+// reproduces GMS exactly, Theorems 2 and 3).
+
+#ifndef PTA_PTA_GREEDY_H_
+#define PTA_PTA_GREEDY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "pta/error.h"
+#include "pta/segment.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief Options shared by the greedy algorithms.
+struct GreedyOptions {
+  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
+  std::vector<double> weights;
+  /// Minimum number of adjacent successors a merge candidate must have
+  /// before the heuristic allows merging it (Sec. 6.2.1). 0 merges eagerly;
+  /// kDeltaInfinity only merges on the provably-safe Prop. 3/4 conditions.
+  size_t delta = 1;
+  /// Future-work extension (Sec. 8): allow merging same-group tuples
+  /// separated by temporal gaps (hull timestamps, covered-length weights).
+  bool merge_across_gaps = false;
+
+  static constexpr size_t kDeltaInfinity = static_cast<size_t>(-1);
+};
+
+/// \brief Observability counters for the greedy algorithms.
+struct GreedyStats {
+  /// Largest number of live tuples in the heap (c + beta, Fig. 20).
+  size_t max_heap_size = 0;
+  /// Total merges performed.
+  size_t merges = 0;
+  /// Merges performed before the input stream was exhausted.
+  size_t early_merges = 0;
+};
+
+/// \brief Estimates that drive gPTAε's early merging (Sec. 6.3).
+///
+/// The algorithm needs the ITA result size n and maximal error Emax before
+/// they are knowable; the paper estimates n̂ = 2|r|-1 and samples for Êmax.
+/// Underestimating Êmax only grows the heap; overestimating it may lose the
+/// GMS-equivalence guarantee (Theorem 3).
+struct GreedyErrorEstimates {
+  double estimated_max_error = 0.0;
+  size_t estimated_n = 0;
+};
+
+/// GMS, size-bounded: reduce a materialized ITA result to c tuples.
+Result<Reduction> GmsReduceToSize(const SequentialRelation& ita, size_t c,
+                                  const GreedyOptions& options = {},
+                                  GreedyStats* stats = nullptr);
+
+/// GMS, error-bounded: maximal greedy reduction with SSE <= eps * Emax.
+Result<Reduction> GmsReduceToError(const SequentialRelation& ita, double eps,
+                                   const GreedyOptions& options = {},
+                                   GreedyStats* stats = nullptr);
+
+/// gPTAc (Fig. 11): streaming size-bounded greedy reduction.
+Result<Reduction> GreedyReduceToSize(SegmentSource& source, size_t c,
+                                     const GreedyOptions& options = {},
+                                     GreedyStats* stats = nullptr);
+
+/// gPTAε (Fig. 13): streaming error-bounded greedy reduction.
+Result<Reduction> GreedyReduceToError(SegmentSource& source, double eps,
+                                      const GreedyErrorEstimates& estimates,
+                                      const GreedyOptions& options = {},
+                                      GreedyStats* stats = nullptr);
+
+}  // namespace pta
+
+#endif  // PTA_PTA_GREEDY_H_

@@ -1,0 +1,198 @@
+#include "pta/merge_heap.h"
+
+namespace pta {
+
+MergeHeap::MergeHeap(size_t p, const std::vector<double>& weights,
+                     bool merge_across_gaps)
+    : p_(p),
+      weights_(WeightsOrOnes(p, weights)),
+      merge_across_gaps_(merge_across_gaps) {}
+
+double MergeHeap::KeyFor(int32_t a, int32_t b) const {
+  if (a < 0) return kInfiniteError;
+  const Node& na = nodes_[a];
+  const Node& nb = nodes_[b];
+  if (!Mergeable(na, nb)) return kInfiniteError;
+  return Dsim(na.covered, ValuesOf(a), nb.covered, ValuesOf(b), p_,
+              weights_.data());
+}
+
+int32_t MergeHeap::AllocNode() {
+  if (!free_.empty()) {
+    const int32_t h = free_.back();
+    free_.pop_back();
+    nodes_[h] = Node{};
+    return h;
+  }
+  nodes_.emplace_back();
+  values_.resize(nodes_.size() * p_, 0.0);
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+void MergeHeap::FreeNode(int32_t h) { free_.push_back(h); }
+
+void MergeHeap::SiftUp(size_t pos) {
+  const int32_t h = heap_[pos];
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (!Less(h, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    nodes_[heap_[pos]].heap_pos = static_cast<int32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = h;
+  nodes_[h].heap_pos = static_cast<int32_t>(pos);
+}
+
+void MergeHeap::SiftDown(size_t pos) {
+  const int32_t h = heap_[pos];
+  const size_t n = heap_.size();
+  while (true) {
+    size_t child = 2 * pos + 1;
+    if (child >= n) break;
+    if (child + 1 < n && Less(heap_[child + 1], heap_[child])) ++child;
+    if (!Less(heap_[child], h)) break;
+    heap_[pos] = heap_[child];
+    nodes_[heap_[pos]].heap_pos = static_cast<int32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = h;
+  nodes_[h].heap_pos = static_cast<int32_t>(pos);
+}
+
+void MergeHeap::HeapRemove(size_t pos) {
+  const int32_t last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    heap_[pos] = last;
+    nodes_[last].heap_pos = static_cast<int32_t>(pos);
+    SiftDown(pos);
+    SiftUp(nodes_[last].heap_pos);
+  }
+}
+
+void MergeHeap::Rekey(int32_t h, double new_key) {
+  Node& node = nodes_[h];
+  const double old_key = node.key;
+  if (new_key == old_key) return;
+  node.key = new_key;
+  if (new_key < old_key) {
+    SiftUp(static_cast<size_t>(node.heap_pos));
+  } else {
+    SiftDown(static_cast<size_t>(node.heap_pos));
+  }
+}
+
+double MergeHeap::Insert(const Segment& seg, int64_t* id) {
+  PTA_CHECK_MSG(seg.values.size() == p_, "segment arity mismatch");
+  const int32_t h = AllocNode();
+  Node& node = nodes_[h];
+  node.id = next_id_++;
+  node.group = seg.group;
+  node.t = seg.t;
+  node.covered = seg.t.length();
+  node.prev = tail_;
+  node.next = -1;
+  for (size_t d = 0; d < p_; ++d) ValuesOf(h)[d] = seg.values[d];
+  if (tail_ >= 0) {
+    PTA_CHECK_MSG(
+        nodes_[tail_].group < seg.group ||
+            (nodes_[tail_].group == seg.group &&
+             nodes_[tail_].t.end < seg.t.begin),
+        "segments must arrive sorted by group then time");
+    nodes_[tail_].next = h;
+  } else {
+    head_ = h;
+  }
+  tail_ = h;
+  node.key = KeyFor(node.prev, h);
+
+  heap_.push_back(h);
+  node.heap_pos = static_cast<int32_t>(heap_.size() - 1);
+  SiftUp(heap_.size() - 1);
+  if (heap_.size() > max_size_) max_size_ = heap_.size();
+  if (id != nullptr) *id = node.id;
+  return node.key;
+}
+
+MergeHeap::TopInfo MergeHeap::Peek() const {
+  PTA_CHECK_MSG(!heap_.empty(), "Peek on empty heap");
+  const Node& node = nodes_[heap_[0]];
+  return {node.id, node.key};
+}
+
+double MergeHeap::MergeTop() {
+  PTA_CHECK_MSG(!heap_.empty(), "MergeTop on empty heap");
+  const int32_t nh = heap_[0];
+  Node& n = nodes_[nh];
+  PTA_CHECK_MSG(n.key < kInfiniteError, "top node has no adjacent predecessor");
+  const double introduced = n.key;
+  const int32_t ph = n.prev;
+  Node& p = nodes_[ph];
+
+  // Fold N into P (Def. 3): weighted-average values, concatenate timestamps
+  // (hull when gap merging is enabled; the weights are the covered lengths).
+  const double lp = static_cast<double>(p.covered);
+  const double ln = static_cast<double>(n.covered);
+  double* pv = ValuesOf(ph);
+  const double* nv = ValuesOf(nh);
+  for (size_t d = 0; d < p_; ++d) {
+    pv[d] = (lp * pv[d] + ln * nv[d]) / (lp + ln);
+  }
+  p.t.end = n.t.end;
+  p.covered += n.covered;
+
+  // Unlink N.
+  p.next = n.next;
+  if (n.next >= 0) {
+    nodes_[n.next].prev = ph;
+  } else {
+    tail_ = ph;
+  }
+  HeapRemove(0);
+  FreeNode(nh);
+
+  // P's value and length changed: re-key P against its predecessor and P's
+  // new successor against P.
+  Rekey(ph, KeyFor(p.prev, ph));
+  if (p.next >= 0) Rekey(p.next, KeyFor(ph, p.next));
+  return introduced;
+}
+
+size_t MergeHeap::CountAdjacentSuccessorsOfTop(size_t limit) const {
+  PTA_CHECK_MSG(!heap_.empty(), "empty heap");
+  size_t count = 0;
+  int32_t cur = heap_[0];
+  while (count < limit) {
+    const int32_t next = nodes_[cur].next;
+    if (next < 0) break;
+    if (!Mergeable(nodes_[cur], nodes_[next])) break;
+    cur = next;
+    ++count;
+  }
+  return count;
+}
+
+std::vector<Segment> MergeHeap::ExtractSegments() const {
+  std::vector<Segment> out;
+  out.reserve(heap_.size());
+  for (int32_t h = head_; h >= 0; h = nodes_[h].next) {
+    Segment seg;
+    seg.group = nodes_[h].group;
+    seg.t = nodes_[h].t;
+    seg.values.assign(ValuesOf(h), ValuesOf(h) + p_);
+    out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+SequentialRelation MergeHeap::ExtractRelation() const {
+  SequentialRelation rel(p_);
+  rel.Reserve(heap_.size());
+  for (int32_t h = head_; h >= 0; h = nodes_[h].next) {
+    rel.Append(nodes_[h].group, nodes_[h].t, ValuesOf(h));
+  }
+  return rel;
+}
+
+}  // namespace pta

@@ -1,0 +1,125 @@
+// The binary heap of Sec. 6.2.2: heap nodes represent (possibly merged) ITA
+// result tuples chained in chronological order; a node's key is the error of
+// merging it into its predecessor (dsim, Prop. 2), infinity when the pair is
+// non-adjacent or the node is the first of the stream. MERGE pops the
+// minimum-key node, folds it into its predecessor, and re-keys the two
+// affected neighbours.
+
+#ifndef PTA_PTA_MERGE_HEAP_H_
+#define PTA_PTA_MERGE_HEAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pta/error.h"
+#include "pta/segment.h"
+
+namespace pta {
+
+/// \brief Min-heap over chronologically linked segments with re-keying.
+///
+/// Node storage is recycled through a free list, so memory is proportional
+/// to the maximum number of *live* nodes (the c + beta of Sec. 6.2), not the
+/// stream length. Ties on the key are broken by the smaller sequence id,
+/// which makes merging deterministic (the paper merges the pair with the
+/// smallest timestamp).
+class MergeHeap {
+ public:
+  /// Creates a heap for segments with p aggregate values and the given
+  /// per-dimension weights (empty = all ones). With `merge_across_gaps`
+  /// (the paper's future-work extension) same-group tuples separated by a
+  /// temporal gap are mergeable too: the merged timestamp is the hull and
+  /// values/keys weigh each side by its *covered* chronons.
+  MergeHeap(size_t p, const std::vector<double>& weights,
+            bool merge_across_gaps = false);
+
+  /// \brief Key and id of the minimum node (INSERT's sequence numbering).
+  struct TopInfo {
+    int64_t id = 0;
+    double key = kInfiniteError;
+  };
+
+  /// Inserts a segment as the new chronological tail; returns its sequence
+  /// id (1-based) via *id and its key (infinity when it does not follow its
+  /// predecessor adjacently).
+  double Insert(const Segment& seg, int64_t* id = nullptr);
+
+  size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  /// Largest size() observed since construction (Fig. 20's metric).
+  size_t max_size() const { return max_size_; }
+
+  /// Minimum-key node; requires a non-empty heap.
+  TopInfo Peek() const;
+
+  /// Merges the top node into its predecessor and returns the introduced
+  /// error (its key). Requires the top key to be finite.
+  double MergeTop();
+
+  /// Counts successors of the top node connected to it by a chain of
+  /// adjacent pairs, stopping at `limit` (the gPTA δ check).
+  size_t CountAdjacentSuccessorsOfTop(size_t limit) const;
+
+  /// Remaining segments in chronological order.
+  std::vector<Segment> ExtractSegments() const;
+  /// Remaining segments as a SequentialRelation (group keys not attached).
+  SequentialRelation ExtractRelation() const;
+
+ private:
+  struct Node {
+    double key = kInfiniteError;
+    int64_t id = 0;
+    int32_t group = 0;
+    Interval t;
+    /// Chronons actually covered (== t.length() unless gap merging folded
+    /// segments across holes).
+    int64_t covered = 0;
+    int32_t prev = -1;
+    int32_t next = -1;
+    int32_t heap_pos = -1;
+  };
+
+  /// True if b may be merged into its predecessor a.
+  bool Mergeable(const Node& a, const Node& b) const {
+    if (a.group != b.group) return false;
+    return merge_across_gaps_ || a.t.MeetsBefore(b.t);
+  }
+
+  bool Less(int32_t a, int32_t b) const {
+    const Node& na = nodes_[a];
+    const Node& nb = nodes_[b];
+    if (na.key != nb.key) return na.key < nb.key;
+    return na.id < nb.id;
+  }
+
+  double* ValuesOf(int32_t h) { return values_.data() + static_cast<size_t>(h) * p_; }
+  const double* ValuesOf(int32_t h) const {
+    return values_.data() + static_cast<size_t>(h) * p_;
+  }
+
+  /// dsim of node b with its predecessor a; infinity if not adjacent.
+  double KeyFor(int32_t a, int32_t b) const;
+
+  int32_t AllocNode();
+  void FreeNode(int32_t h);
+  void SiftUp(size_t pos);
+  void SiftDown(size_t pos);
+  void HeapRemove(size_t pos);
+  void Rekey(int32_t h, double new_key);
+
+  size_t p_;
+  std::vector<double> weights_;
+  bool merge_across_gaps_;
+  std::vector<Node> nodes_;
+  std::vector<double> values_;   // nodes_.size() * p_
+  std::vector<int32_t> free_;    // recycled node handles
+  std::vector<int32_t> heap_;    // node handles ordered as a binary min-heap
+  int32_t head_ = -1;
+  int32_t tail_ = -1;
+  int64_t next_id_ = 1;
+  size_t max_size_ = 0;
+};
+
+}  // namespace pta
+
+#endif  // PTA_PTA_MERGE_HEAP_H_

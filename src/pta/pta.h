@@ -1,0 +1,97 @@
+// Parsimonious temporal aggregation — the one-call public API.
+//
+// PTA (Def. 6/7) evaluates ITA over the argument relation, then reduces the
+// ITA result by merging adjacent tuples until a size bound c or error bound
+// eps is met:
+//
+//   auto result = PtaBySize(proj, {.group_by = {"Proj"},
+//                                  .aggregates = {Avg("Sal", "AvgSal")}},
+//                           /*c=*/4);
+//
+// Exact evaluation uses the dynamic programs of Sec. 5 (PTAc / PTAε);
+// GreedyPtaBySize / GreedyPtaByError use the streaming greedy algorithms of
+// Sec. 6 (gPTAc / gPTAε), which scale to very large inputs at a bounded,
+// experimentally small, loss of precision.
+
+#ifndef PTA_PTA_PTA_H_
+#define PTA_PTA_PTA_H_
+
+#include <cstdint>
+
+#include "core/ita.h"
+#include "pta/dp.h"
+#include "pta/greedy.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief Options for exact (DP-based) PTA evaluation.
+struct PtaOptions {
+  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
+  std::vector<double> weights;
+  /// The Sec. 5.3 gap/group pruning; disabling yields the plain DP scheme.
+  bool use_pruning = true;
+  /// The Sec. 5.4 early break of the inner DP loop.
+  bool use_early_break = true;
+  /// Future-work extension (Sec. 8): merge across temporal gaps.
+  bool merge_across_gaps = false;
+};
+
+/// \brief Options for greedy (streaming) PTA evaluation.
+struct GreedyPtaOptions {
+  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
+  std::vector<double> weights;
+  /// Read-ahead depth (Sec. 6.2.1); see GreedyOptions::delta.
+  size_t delta = 1;
+  /// Future-work extension (Sec. 8): merge across temporal gaps.
+  bool merge_across_gaps = false;
+
+  // --- gPTAε estimation knobs (ignored by GreedyPtaBySize) ---
+  /// Êmax override; negative means "estimate by sampling the input".
+  double estimated_max_error = -1.0;
+  /// n̂ override; 0 means the paper's bound 2|r| - 1.
+  size_t estimated_n = 0;
+  /// Fraction of input tuples sampled for the Êmax estimate.
+  double sample_fraction = 0.05;
+  /// Seed of the deterministic sampler.
+  uint64_t sample_seed = 42;
+};
+
+/// \brief The outcome of a PTA query.
+struct PtaResult {
+  /// The reduced relation; group keys and value names are attached, so
+  /// `relation.ToTemporalRelation(group_schema)` yields displayable tuples.
+  SequentialRelation relation;
+  /// Total SSE (Def. 5) introduced by the reduction.
+  double error = 0.0;
+  /// Size of the intermediate ITA result.
+  size_t ita_size = 0;
+};
+
+/// Size-bounded PTA (Def. 6), exact: ITA followed by PTAc.
+Result<PtaResult> PtaBySize(const TemporalRelation& rel, const ItaSpec& spec,
+                            size_t c, const PtaOptions& options = {});
+
+/// Error-bounded PTA (Def. 7), exact: ITA followed by PTAε.
+/// eps in [0, 1] scales the largest possible error SSEmax.
+Result<PtaResult> PtaByError(const TemporalRelation& rel, const ItaSpec& spec,
+                             double eps, const PtaOptions& options = {});
+
+/// Size-bounded PTA, greedy and streaming: ITA tuples are merged as they
+/// are produced (gPTAc); memory stays at O(c + beta).
+Result<PtaResult> GreedyPtaBySize(const TemporalRelation& rel,
+                                  const ItaSpec& spec, size_t c,
+                                  const GreedyPtaOptions& options = {},
+                                  GreedyStats* stats = nullptr);
+
+/// Error-bounded PTA, greedy and streaming (gPTAε). Unless overridden in
+/// the options, n̂ = 2|r|-1 and Êmax is estimated from a deterministic
+/// sample of the input (Sec. 6.3).
+Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
+                                   const ItaSpec& spec, double eps,
+                                   const GreedyPtaOptions& options = {},
+                                   GreedyStats* stats = nullptr);
+
+}  // namespace pta
+
+#endif  // PTA_PTA_PTA_H_

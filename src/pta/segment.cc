@@ -1,0 +1,184 @@
+#include "pta/segment.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pta {
+
+SequentialRelation::SequentialRelation(size_t num_aggregates,
+                                       std::vector<std::string> value_names)
+    : p_(num_aggregates), value_names_(std::move(value_names)) {
+  PTA_CHECK_MSG(value_names_.empty() || value_names_.size() == p_,
+                "value_names arity must match num_aggregates");
+}
+
+void SequentialRelation::Append(int32_t group, Interval t,
+                                const double* values) {
+  groups_.push_back(group);
+  intervals_.push_back(t);
+  values_.insert(values_.end(), values, values + p_);
+}
+
+void SequentialRelation::Append(const Segment& seg) {
+  PTA_CHECK_MSG(seg.values.size() == p_, "segment arity mismatch");
+  Append(seg.group, seg.t, seg.values.data());
+}
+
+void SequentialRelation::SetValueNames(std::vector<std::string> names) {
+  PTA_CHECK_MSG(names.empty() || names.size() == p_,
+                "value_names arity must match num_aggregates");
+  value_names_ = std::move(names);
+}
+
+void SequentialRelation::Reserve(size_t n) {
+  groups_.reserve(n);
+  intervals_.reserve(n);
+  values_.reserve(n * p_);
+}
+
+size_t SequentialRelation::CMin() const {
+  if (empty()) return 0;
+  size_t runs = 1;
+  for (size_t i = 0; i + 1 < size(); ++i) {
+    if (!AdjacentPair(i)) ++runs;
+  }
+  return runs;
+}
+
+Status SequentialRelation::Validate() const {
+  for (size_t i = 0; i + 1 < size(); ++i) {
+    if (groups_[i] > groups_[i + 1]) {
+      return Status::FailedPrecondition(
+          "segments not sorted by group at position " + std::to_string(i));
+    }
+    if (groups_[i] == groups_[i + 1] &&
+        intervals_[i].end >= intervals_[i + 1].begin) {
+      return Status::FailedPrecondition(
+          "segments overlap or are unsorted within group at position " +
+          std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+Result<TemporalRelation> SequentialRelation::ToTemporalRelation(
+    const Schema& group_schema) const {
+  std::vector<AttributeDef> attrs = group_schema.attributes();
+  for (size_t d = 0; d < p_; ++d) {
+    const std::string name =
+        value_names_.empty() ? "B" + std::to_string(d + 1) : value_names_[d];
+    attrs.push_back({name, ValueType::kDouble});
+  }
+  TemporalRelation out{Schema(std::move(attrs))};
+  out.Reserve(size());
+  for (size_t i = 0; i < size(); ++i) {
+    std::vector<Value> row;
+    row.reserve(group_schema.num_attributes() + p_);
+    if (!group_keys_.empty()) {
+      const size_t gid = static_cast<size_t>(groups_[i]);
+      if (gid >= group_keys_.size()) {
+        return Status::FailedPrecondition("group id without group key");
+      }
+      const GroupKey& key = group_keys_[gid];
+      if (key.size() != group_schema.num_attributes()) {
+        return Status::InvalidArgument(
+            "group schema arity does not match stored group keys");
+      }
+      for (const Value& v : key) row.push_back(v);
+    } else if (group_schema.num_attributes() != 0) {
+      return Status::InvalidArgument(
+          "relation has no group keys but group schema is non-empty");
+    }
+    for (size_t d = 0; d < p_; ++d) row.push_back(Value(value(i, d)));
+    PTA_RETURN_IF_ERROR(out.Insert(std::move(row), intervals_[i]));
+  }
+  return out;
+}
+
+bool SequentialRelation::ApproxEquals(const SequentialRelation& other,
+                                      double tol) const {
+  if (size() != other.size() || p_ != other.p_) return false;
+  for (size_t i = 0; i < size(); ++i) {
+    if (groups_[i] != other.groups_[i]) return false;
+    if (!(intervals_[i] == other.intervals_[i])) return false;
+    for (size_t d = 0; d < p_; ++d) {
+      if (std::fabs(value(i, d) - other.value(i, d)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::string SequentialRelation::ToString() const {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "g=%d ", groups_[i]);
+    out += buf;
+    out += intervals_[i].ToString();
+    out += " (";
+    for (size_t d = 0; d < p_; ++d) {
+      if (d > 0) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%g", value(i, d));
+      out += buf;
+    }
+    out += ")\n";
+  }
+  return out;
+}
+
+bool RelationSegmentSource::Next(Segment* out) {
+  if (pos_ >= rel_->size()) return false;
+  out->group = rel_->group(pos_);
+  out->t = rel_->interval(pos_);
+  const double* v = rel_->values(pos_);
+  out->values.assign(v, v + rel_->num_aggregates());
+  ++pos_;
+  return true;
+}
+
+SequentialRelation FromTimeSeries(
+    const std::vector<std::vector<double>>& dims) {
+  PTA_CHECK_MSG(!dims.empty(), "need at least one series");
+  const size_t n = dims[0].size();
+  for (const auto& d : dims) {
+    PTA_CHECK_MSG(d.size() == n, "all series must have the same length");
+  }
+  SequentialRelation rel(dims.size());
+  rel.Reserve(n);
+  std::vector<double> row(dims.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims.size(); ++d) row[d] = dims[d][i];
+    rel.Append(0, Interval(static_cast<Chronon>(i), static_cast<Chronon>(i)),
+               row.data());
+  }
+  rel.SetGroupKeys({GroupKey{}});
+  return rel;
+}
+
+Result<std::vector<std::vector<double>>> ToTimeSeries(
+    const SequentialRelation& rel) {
+  if (rel.empty()) {
+    return Status::FailedPrecondition("empty relation");
+  }
+  for (size_t i = 0; i + 1 < rel.size(); ++i) {
+    if (!rel.AdjacentPair(i)) {
+      return Status::FailedPrecondition(
+          "relation has gaps or multiple groups; time-series expansion "
+          "requires a single gap-free group");
+    }
+  }
+  const size_t p = rel.num_aggregates();
+  std::vector<std::vector<double>> out(p);
+  const int64_t total = rel.interval(rel.size() - 1).end -
+                        rel.interval(0).begin + 1;
+  for (auto& dim : out) dim.reserve(static_cast<size_t>(total));
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const int64_t len = rel.length(i);
+    for (size_t d = 0; d < p; ++d) {
+      out[d].insert(out[d].end(), static_cast<size_t>(len), rel.value(i, d));
+    }
+  }
+  return out;
+}
+
+}  // namespace pta

@@ -1,0 +1,39 @@
+// Lightweight CHECK macros for programmer-error assertions.
+//
+// The library does not use exceptions (see DESIGN.md); recoverable errors are
+// reported through pta::Status. CHECK macros cover contract violations that
+// indicate bugs in the calling code and abort with a diagnostic.
+
+#ifndef PTA_UTIL_CHECK_H_
+#define PTA_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define PTA_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PTA_CHECK failed: %s at %s:%d\n", #cond,        \
+                   __FILE__, __LINE__);                                     \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define PTA_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "PTA_CHECK failed: %s (%s) at %s:%d\n", #cond,   \
+                   (msg), __FILE__, __LINE__);                              \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifndef NDEBUG
+#define PTA_DCHECK(cond) PTA_CHECK(cond)
+#else
+#define PTA_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#endif  // PTA_UTIL_CHECK_H_

@@ -1,0 +1,52 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pta {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double StandardError(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  return SampleStdDev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+std::vector<double> NormalizeTo(const std::vector<double>& xs, double hi) {
+  std::vector<double> out(xs.size(), 0.0);
+  if (xs.empty()) return out;
+  const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+  const double lo = *lo_it;
+  const double range = *hi_it - lo;
+  if (range <= 0.0) return out;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    out[i] = (xs[i] - lo) / range * hi;
+  }
+  return out;
+}
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+}  // namespace pta

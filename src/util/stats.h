@@ -1,0 +1,43 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses
+// (mean, standard error, min/max normalization).
+
+#ifndef PTA_UTIL_STATS_H_
+#define PTA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pta {
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double SampleStdDev(const std::vector<double>& xs);
+
+/// Standard error of the mean: stddev / sqrt(n); 0 for fewer than 2 values.
+double StandardError(const std::vector<double>& xs);
+
+/// Rescales xs linearly so min -> 0 and max -> hi (paper's figures normalize
+/// error and reduction to 0..100%). Constant inputs map to all-zero.
+std::vector<double> NormalizeTo(const std::vector<double>& xs, double hi);
+
+/// \brief Incremental mean/min/max accumulator.
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace pta
+
+#endif  // PTA_UTIL_STATS_H_

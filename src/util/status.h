@@ -1,0 +1,117 @@
+// Error handling without exceptions: Status and Result<T>.
+//
+// Follows the RocksDB / Google idiom: operations that can fail for reasons
+// outside the caller's control return a Status (or Result<T> when they also
+// produce a value). Status is cheap to copy in the OK case.
+
+#ifndef PTA_UTIL_STATUS_H_
+#define PTA_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace pta {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kIoError,
+};
+
+/// \brief Result of an operation that can fail.
+///
+/// A Status is either OK or carries an error code plus a human-readable
+/// message. Use the static constructors, e.g.
+/// `Status::InvalidArgument("c must be >= cmin")`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Returns "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// \brief Either a value of type T or an error Status.
+///
+/// `Result<T> r = Compute(); if (!r.ok()) return r.status();` Use
+/// `value()` / `operator*` only after checking `ok()`; violating this is a
+/// programmer error and aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the success path).
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+  /// Implicit construction from a non-OK status (the failure path).
+  Result(Status status) : status_(std::move(status)) {
+    PTA_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    PTA_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T& value() & {
+    PTA_CHECK_MSG(ok(), status_.message().c_str());
+    return value_;
+  }
+  T&& value() && {
+    PTA_CHECK_MSG(ok(), status_.message().c_str());
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+#define PTA_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::pta::Status _st = (expr);              \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+}  // namespace pta
+
+#endif  // PTA_UTIL_STATUS_H_

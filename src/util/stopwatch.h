@@ -1,0 +1,33 @@
+// Wall-clock stopwatch for benchmark harnesses.
+
+#ifndef PTA_UTIL_STOPWATCH_H_
+#define PTA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace pta {
+
+/// \brief Simple monotonic wall-clock stopwatch.
+///
+/// Starts on construction; `ElapsedSeconds()` / `ElapsedMillis()` read the
+/// running time, `Restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pta
+
+#endif  // PTA_UTIL_STOPWATCH_H_

@@ -1,0 +1,43 @@
+// Aligned plain-text tables for the benchmark harnesses. Each harness prints
+// the rows/series the paper's tables and figures report; TablePrinter keeps
+// the output readable and diffable.
+
+#ifndef PTA_UTIL_TABLE_PRINTER_H_
+#define PTA_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pta {
+
+/// \brief Collects rows of string cells and prints them column-aligned.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Formats helpers for cells.
+  static std::string Fmt(double v, int precision = 2);
+  static std::string Fmt(int64_t v);
+  static std::string Fmt(uint64_t v);
+  static std::string FmtSci(double v, int precision = 3);
+  static std::string FmtPercent(double v, int precision = 1);
+
+  /// Renders the table to a string (header, separator, rows).
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pta
+
+#endif  // PTA_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,110 @@
+#include "core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+namespace pta {
+namespace {
+
+TEST(AggregateTest, OneShotEvaluation) {
+  const std::vector<double> vals = {800.0, 400.0, 300.0};
+  EXPECT_DOUBLE_EQ(*EvaluateAggregate(AggKind::kAvg, vals), 500.0);
+  EXPECT_DOUBLE_EQ(*EvaluateAggregate(AggKind::kSum, vals), 1500.0);
+  EXPECT_DOUBLE_EQ(*EvaluateAggregate(AggKind::kCount, vals), 3.0);
+  EXPECT_DOUBLE_EQ(*EvaluateAggregate(AggKind::kMin, vals), 300.0);
+  EXPECT_DOUBLE_EQ(*EvaluateAggregate(AggKind::kMax, vals), 800.0);
+}
+
+TEST(AggregateTest, OneShotRejectsEmptyInput) {
+  const auto result = EvaluateAggregate(AggKind::kAvg, {});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(AggregateTest, IncrementalAvgTracksAddRemove) {
+  auto agg = CreateAggregator(AggKind::kAvg);
+  EXPECT_TRUE(agg->Empty());
+  agg->Add(800.0);
+  EXPECT_DOUBLE_EQ(agg->Current(), 800.0);
+  agg->Add(400.0);
+  EXPECT_DOUBLE_EQ(agg->Current(), 600.0);
+  agg->Add(300.0);
+  EXPECT_DOUBLE_EQ(agg->Current(), 500.0);
+  agg->Remove(800.0);
+  EXPECT_DOUBLE_EQ(agg->Current(), 350.0);
+  agg->Remove(400.0);
+  agg->Remove(300.0);
+  EXPECT_TRUE(agg->Empty());
+}
+
+TEST(AggregateTest, IncrementalSumAndCount) {
+  auto sum = CreateAggregator(AggKind::kSum);
+  auto count = CreateAggregator(AggKind::kCount);
+  for (double v : {1.0, 2.0, 3.0}) {
+    sum->Add(v);
+    count->Add(v);
+  }
+  EXPECT_DOUBLE_EQ(sum->Current(), 6.0);
+  EXPECT_DOUBLE_EQ(count->Current(), 3.0);
+  sum->Remove(2.0);
+  count->Remove(2.0);
+  EXPECT_DOUBLE_EQ(sum->Current(), 4.0);
+  EXPECT_DOUBLE_EQ(count->Current(), 2.0);
+}
+
+TEST(AggregateTest, IncrementalMinMaxHandleDuplicates) {
+  auto min = CreateAggregator(AggKind::kMin);
+  auto max = CreateAggregator(AggKind::kMax);
+  for (double v : {5.0, 3.0, 3.0, 9.0}) {
+    min->Add(v);
+    max->Add(v);
+  }
+  EXPECT_DOUBLE_EQ(min->Current(), 3.0);
+  EXPECT_DOUBLE_EQ(max->Current(), 9.0);
+  // Removing one duplicate keeps the other alive.
+  min->Remove(3.0);
+  EXPECT_DOUBLE_EQ(min->Current(), 3.0);
+  min->Remove(3.0);
+  EXPECT_DOUBLE_EQ(min->Current(), 5.0);
+  max->Remove(9.0);
+  EXPECT_DOUBLE_EQ(max->Current(), 5.0);
+}
+
+TEST(AggregateTest, ResetClearsState) {
+  auto agg = CreateAggregator(AggKind::kMax);
+  agg->Add(1.0);
+  agg->Reset();
+  EXPECT_TRUE(agg->Empty());
+}
+
+TEST(AggregateTest, SumResetsDriftWhenEmpty) {
+  // After removing everything the running sum must be exactly zero again.
+  auto agg = CreateAggregator(AggKind::kSum);
+  agg->Add(0.1);
+  agg->Add(0.2);
+  agg->Remove(0.1);
+  agg->Remove(0.2);
+  agg->Add(5.0);
+  EXPECT_DOUBLE_EQ(agg->Current(), 5.0);
+}
+
+TEST(AggregateTest, SpecFactoriesFillFields) {
+  const AggregateSpec avg = Avg("Sal", "AvgSal");
+  EXPECT_EQ(avg.kind, AggKind::kAvg);
+  EXPECT_EQ(avg.attr, "Sal");
+  EXPECT_EQ(avg.output_name, "AvgSal");
+  EXPECT_EQ(Count("N").kind, AggKind::kCount);
+  EXPECT_EQ(Min("x", "m").kind, AggKind::kMin);
+  EXPECT_EQ(Max("x", "m").kind, AggKind::kMax);
+  EXPECT_EQ(Sum("x", "s").kind, AggKind::kSum);
+}
+
+TEST(AggregateTest, KindNames) {
+  EXPECT_STREQ(AggKindName(AggKind::kAvg), "avg");
+  EXPECT_STREQ(AggKindName(AggKind::kSum), "sum");
+  EXPECT_STREQ(AggKindName(AggKind::kCount), "count");
+  EXPECT_STREQ(AggKindName(AggKind::kMin), "min");
+  EXPECT_STREQ(AggKindName(AggKind::kMax), "max");
+}
+
+}  // namespace
+}  // namespace pta

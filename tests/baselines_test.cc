@@ -1,0 +1,275 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/apca.h"
+#include "baselines/atc.h"
+#include "baselines/chebyshev.h"
+#include "baselines/dft.h"
+#include "baselines/dwt.h"
+#include "baselines/fft.h"
+#include "baselines/paa.h"
+#include "baselines/series.h"
+#include "pta/dp.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace pta {
+namespace {
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<double> out(n);
+  double level = 50.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.1)) level = rng.Uniform(0.0, 100.0);
+    out[i] = level + rng.NextGaussian();
+  }
+  return out;
+}
+
+TEST(SeriesTest, SseAndSegmentCounting) {
+  EXPECT_DOUBLE_EQ(SeriesSse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(SeriesSse({1, 2}, {2, 4}), 1.0 + 4.0);
+  EXPECT_EQ(CountSegments({1, 1, 2, 2, 2, 3}), 3u);
+  EXPECT_EQ(CountSegments({5}), 1u);
+  EXPECT_EQ(CountSegments({}), 0u);
+}
+
+TEST(SeriesTest, SeriesToRelationMergesRuns) {
+  const SequentialRelation rel = SeriesToRelation({4, 4, 7, 7, 7});
+  ASSERT_EQ(rel.size(), 2u);
+  EXPECT_EQ(rel.interval(0), Interval(0, 1));
+  EXPECT_EQ(rel.interval(1), Interval(2, 4));
+  EXPECT_DOUBLE_EQ(rel.value(1, 0), 7.0);
+}
+
+TEST(FftTest, RoundTripsRandomData) {
+  Random rng(5);
+  std::vector<std::complex<double>> data(64);
+  for (auto& x : data) x = {rng.Uniform(-1, 1), rng.Uniform(-1, 1)};
+  const auto original = data;
+  Fft(data, /*inverse=*/false);
+  Fft(data, /*inverse=*/true);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(FftTest, MatchesDirectDftOnPowerOfTwo) {
+  const std::vector<double> series = RandomSeries(32, 8);
+  const auto fast = Dft(series);  // power of two -> FFT path
+  // Direct evaluation of one bin.
+  std::complex<double> bin3(0, 0);
+  for (size_t t = 0; t < series.size(); ++t) {
+    const double angle = -2.0 * M_PI * 3.0 * static_cast<double>(t) / 32.0;
+    bin3 += series[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+  EXPECT_NEAR(fast[3].real(), bin3.real(), 1e-8);
+  EXPECT_NEAR(fast[3].imag(), bin3.imag(), 1e-8);
+}
+
+TEST(FftTest, NextPowerOfTwo) {
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1800), 2048u);
+}
+
+TEST(DftTest, FullSpectrumReconstructsExactly) {
+  const std::vector<double> series = RandomSeries(50, 9);  // non-pow2 path
+  const std::vector<double> approx =
+      DftApproximate(series, series.size() / 2 + 1);
+  EXPECT_LT(SeriesSse(series, approx), 1e-6);
+}
+
+TEST(DftTest, ErrorDecreasesWithMoreCoefficients) {
+  const std::vector<double> series = RandomSeries(128, 10);
+  double previous = SeriesSse(series, DftApproximate(series, 1));
+  for (size_t c : {4ul, 16ul, 64ul}) {
+    const double err = SeriesSse(series, DftApproximate(series, c));
+    EXPECT_LE(err, previous + 1e-9);
+    previous = err;
+  }
+}
+
+TEST(PaaTest, EqualSegmentsGetTheirMeans) {
+  const std::vector<double> series = {2, 4, 6, 8};
+  const std::vector<double> approx = PaaApproximate(series, 2);
+  EXPECT_EQ(approx, (std::vector<double>{3, 3, 7, 7}));
+}
+
+TEST(PaaTest, RemainderGoesToTheLastSegments) {
+  const std::vector<double> series = {1, 1, 1, 5, 5};
+  const std::vector<double> approx = PaaApproximate(series, 2);
+  // Boundaries at floor(i*n/c): segment 1 = [0,2), segment 2 = [2,5).
+  EXPECT_DOUBLE_EQ(approx[0], 1.0);
+  EXPECT_NEAR(approx[4], (1 + 5 + 5) / 3.0, 1e-12);
+  EXPECT_EQ(CountSegments(approx), 2u);
+}
+
+TEST(PaaTest, CEqualToLengthIsIdentity) {
+  const std::vector<double> series = RandomSeries(20, 11);
+  EXPECT_LT(SeriesSse(series, PaaApproximate(series, 20)), 1e-12);
+}
+
+TEST(DwtTest, HaarRoundTrips) {
+  const std::vector<double> series = RandomSeries(64, 12);
+  const std::vector<double> restored = HaarInverse(HaarForward(series));
+  EXPECT_LT(SeriesSse(series, restored), 1e-12);
+}
+
+TEST(DwtTest, HaarIsOrthonormal) {
+  // Parseval: energy is preserved by the transform.
+  const std::vector<double> series = RandomSeries(32, 13);
+  const std::vector<double> coeffs = HaarForward(series);
+  double e1 = 0, e2 = 0;
+  for (double v : series) e1 += v * v;
+  for (double v : coeffs) e2 += v * v;
+  EXPECT_NEAR(e1, e2, 1e-6);
+}
+
+TEST(DwtTest, FullCoefficientsReconstructExactly) {
+  const std::vector<double> series = RandomSeries(100, 14);  // padded to 128
+  const std::vector<double> approx = DwtApproximate(series, 128);
+  EXPECT_LT(SeriesSse(series, approx), 1e-12);
+}
+
+TEST(DwtTest, ConstantSeriesNeedsOneCoefficient) {
+  const std::vector<double> series(32, 7.5);
+  const std::vector<double> approx = DwtApproximate(series, 1);
+  EXPECT_LT(SeriesSse(series, approx), 1e-12);
+}
+
+TEST(DwtTest, ProfileTracksSegmentsAndError) {
+  const std::vector<double> series = RandomSeries(64, 15);
+  const auto profile = DwtProfile(series);
+  ASSERT_EQ(profile.size(), 64u);
+  // Error decreases with k; k coefficients yield at most 3k segments.
+  for (size_t i = 1; i < profile.size(); ++i) {
+    EXPECT_LE(profile[i].sse, profile[i - 1].sse + 1e-9);
+    EXPECT_LE(profile[i].segments, 3 * profile[i].k);
+  }
+}
+
+TEST(DwtTest, BestWithSegmentsHonorsTheCap) {
+  const std::vector<double> series = RandomSeries(128, 16);
+  for (size_t c : {3ul, 8ul, 20ul}) {
+    size_t chosen = 0;
+    const std::vector<double> approx =
+        DwtBestWithSegments(series, c, &chosen);
+    EXPECT_LE(CountSegments(approx, 1e-12), c);
+    EXPECT_GE(chosen, 1u);
+  }
+}
+
+TEST(ApcaTest, ProducesAtMostCSegmentsWithTrueMeans) {
+  const std::vector<double> series = RandomSeries(200, 17);
+  for (size_t c : {5ul, 12ul, 25ul}) {
+    const std::vector<double> approx = ApcaApproximate(series, c);
+    ASSERT_EQ(approx.size(), series.size());
+    EXPECT_LE(CountSegments(approx, 1e-12), c);
+  }
+}
+
+TEST(ApcaTest, ImprovesOnPlainDwtMostOfTheTime) {
+  // APCA inserts true means, so it should not be much worse than DWT; on
+  // step-like data it is typically better. Use a generous factor to keep
+  // the test robust.
+  const std::vector<double> series = RandomSeries(256, 18);
+  const size_t c = 10;
+  const double apca = SeriesSse(series, ApcaApproximate(series, c));
+  const double dwt = SeriesSse(series, DwtBestWithSegments(series, c));
+  EXPECT_LE(apca, 2.0 * dwt + 1e-9);
+}
+
+TEST(ChebyshevTest, ReconstructionConvergesToSmoothSignal) {
+  // A degree-3 polynomial is captured exactly by 4 coefficients.
+  std::vector<double> series(50);
+  for (size_t i = 0; i < series.size(); ++i) {
+    const double t = -1.0 + 2.0 * static_cast<double>(i) / 49.0;
+    series[i] = 2.0 + t - 3.0 * t * t + 0.5 * t * t * t;
+  }
+  const std::vector<double> approx = ChebyshevApproximate(series, 4);
+  EXPECT_LT(SeriesSse(series, approx) / series.size(), 1e-3);
+}
+
+TEST(ChebyshevTest, ErrorCurveMatchesPointwiseEvaluations) {
+  const std::vector<double> series = RandomSeries(60, 19);
+  const auto curve = ChebyshevErrorCurve(series, 10);
+  ASSERT_EQ(curve.size(), 10u);
+  for (size_t m : {1ul, 5ul, 10ul}) {
+    const double direct = SeriesSse(series, ChebyshevApproximate(series, m));
+    EXPECT_NEAR(curve[m - 1], direct, 1e-6 * (1.0 + direct));
+  }
+}
+
+TEST(AtcTest, ZeroThresholdOnlyMergesIdenticalTuples) {
+  const SequentialRelation ita = testing::MakeProjIta();
+  auto red = AtcReduce(ita, 0.0);
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(red->relation.size(), ita.size());
+  EXPECT_DOUBLE_EQ(red->error, 0.0);
+}
+
+TEST(AtcTest, HugeThresholdCollapsesEveryRun) {
+  const SequentialRelation ita = testing::MakeProjIta();
+  auto red = AtcReduce(ita, 1e18);
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(red->relation.size(), ita.CMin());
+  EXPECT_NEAR(red->error, 269285.71, 0.5);  // Emax of the example
+}
+
+TEST(AtcTest, NeverMergesAcrossGapsOrGroups) {
+  const SequentialRelation rel = testing::RandomSequential(60, 1, 3, 0.2, 20);
+  auto red = AtcReduce(rel, 1e18);
+  ASSERT_TRUE(red.ok());
+  EXPECT_EQ(red->relation.size(), rel.CMin());
+  EXPECT_TRUE(red->relation.Validate().ok());
+}
+
+TEST(AtcTest, ErrorMatchesStepFunctionSse) {
+  const SequentialRelation rel = testing::RandomSequential(80, 2, 2, 0.1, 21);
+  auto red = AtcReduce(rel, 500.0);
+  ASSERT_TRUE(red.ok());
+  auto sse = StepFunctionSse(rel, red->relation);
+  ASSERT_TRUE(sse.ok());
+  EXPECT_NEAR(red->error, *sse, 1e-6 * (1.0 + *sse));
+}
+
+TEST(AtcTest, SweepCoversSizeSpectrum) {
+  const SequentialRelation rel = testing::RandomSequential(100, 1, 1, 0.0, 22);
+  const auto sweep = AtcSweep(rel, /*steps=*/100);
+  ASSERT_EQ(sweep.size(), 100u);
+  // Threshold ladder decreasing -> sizes non-decreasing.
+  for (size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i - 1].threshold + 1e-12,
+              sweep[i - 1].threshold * 2);  // sanity: ladder positive
+    EXPECT_GE(sweep[i].size, sweep[i - 1].size);
+  }
+  // Queries.
+  EXPECT_GE(BestAtcErrorForSize(sweep, rel.size()), 0.0);
+  EXPECT_LT(BestAtcErrorForSize(sweep, 0), 0.0);  // nothing fits size 0
+}
+
+TEST(AtcTest, LocalDecisionsCanLoseToPta) {
+  // The paper's motivation: ATC's local threshold produces a larger total
+  // error than PTA's global optimum at equal output size.
+  const SequentialRelation rel = testing::RandomSequential(120, 1, 1, 0.0, 23);
+  const auto sweep = AtcSweep(rel, 150);
+  size_t compared = 0;
+  for (const auto& entry : sweep) {
+    if (entry.size <= rel.CMin() || entry.size >= rel.size()) continue;
+    auto dp = ReduceToSizeDp(rel, entry.size);
+    ASSERT_TRUE(dp.ok());
+    // Skip near-zero errors: both values are pure cancellation residue.
+    if (dp->error < 1e-3) continue;
+    EXPECT_GE(entry.error, dp->error * (1.0 - 1e-6) - 1e-9);
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+}
+
+}  // namespace
+}  // namespace pta

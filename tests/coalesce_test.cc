@@ -1,0 +1,73 @@
+#include "core/coalesce.h"
+
+#include <gtest/gtest.h>
+
+namespace pta {
+namespace {
+
+TemporalRelation OneColumn(std::vector<std::pair<double, Interval>> rows) {
+  TemporalRelation rel{Schema({{"V", ValueType::kDouble}})};
+  for (auto& [v, t] : rows) {
+    PTA_CHECK(rel.Insert({Value(v)}, t).ok());
+  }
+  return rel;
+}
+
+TEST(CoalesceTest, MergesAdjacentValueEquivalentTuples) {
+  const TemporalRelation rel =
+      OneColumn({{5.0, Interval(1, 3)}, {5.0, Interval(4, 7)}});
+  const TemporalRelation out = Coalesce(rel);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuple(0).interval(), Interval(1, 7));
+}
+
+TEST(CoalesceTest, MergesOverlappingValueEquivalentTuples) {
+  const TemporalRelation rel =
+      OneColumn({{5.0, Interval(1, 5)}, {5.0, Interval(3, 9)}});
+  const TemporalRelation out = Coalesce(rel);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuple(0).interval(), Interval(1, 9));
+}
+
+TEST(CoalesceTest, KeepsGapsAndDifferentValuesApart) {
+  const TemporalRelation rel = OneColumn({{5.0, Interval(1, 3)},
+                                          {5.0, Interval(5, 6)},   // gap at 4
+                                          {7.0, Interval(7, 9)}}); // new value
+  const TemporalRelation out = Coalesce(rel);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(CoalesceTest, ChainsOfManyTuplesCollapse) {
+  TemporalRelation rel{Schema({{"V", ValueType::kDouble}})};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rel.Insert({Value(1.0)}, Interval(i * 2, i * 2 + 1)).ok());
+  }
+  const TemporalRelation out = Coalesce(rel);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.tuple(0).interval(), Interval(0, 19));
+}
+
+TEST(CoalesceTest, MultipleValueGroupsSortedDeterministically) {
+  TemporalRelation rel{Schema({{"K", ValueType::kString},
+                               {"V", ValueType::kDouble}})};
+  ASSERT_TRUE(rel.Insert({Value("b"), Value(1.0)}, Interval(0, 1)).ok());
+  ASSERT_TRUE(rel.Insert({Value("a"), Value(1.0)}, Interval(4, 5)).ok());
+  ASSERT_TRUE(rel.Insert({Value("a"), Value(1.0)}, Interval(0, 3)).ok());
+  const TemporalRelation out = Coalesce(rel);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.tuple(0).value(0).AsString(), "a");
+  EXPECT_EQ(out.tuple(0).interval(), Interval(0, 5));
+  EXPECT_EQ(out.tuple(1).value(0).AsString(), "b");
+}
+
+TEST(CoalesceTest, IdempotentOnCoalescedInput) {
+  const TemporalRelation rel = OneColumn(
+      {{1.0, Interval(0, 2)}, {2.0, Interval(3, 4)}, {1.0, Interval(6, 8)}});
+  const TemporalRelation once = Coalesce(rel);
+  const TemporalRelation twice = Coalesce(once);
+  EXPECT_TRUE(once.SameTuples(twice));
+  EXPECT_EQ(once.size(), 3u);
+}
+
+}  // namespace
+}  // namespace pta

@@ -1,0 +1,111 @@
+#include "core/mwta.h"
+
+#include <gtest/gtest.h>
+
+#include "pta/greedy.h"
+#include "test_util.h"
+
+namespace pta {
+namespace {
+
+using testing::MakeProjIta;
+using testing::MakeProjRelation;
+
+ItaSpec ProjAvgSpec() { return {{"Proj"}, {Avg("Sal", "AvgSal")}}; }
+
+TEST(MwtaTest, ZeroWindowEqualsIta) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto mwta = Mwta(proj, ProjAvgSpec(), {0, 0});
+  ASSERT_TRUE(mwta.ok());
+  EXPECT_TRUE(mwta->ApproxEquals(MakeProjIta()));
+}
+
+TEST(MwtaTest, WindowSmoothsAcrossChangePoints) {
+  // With a +-1 month window, the instant before a salary change already
+  // sees the new tuple, so values blend earlier and segments widen.
+  const TemporalRelation proj = MakeProjRelation();
+  auto mwta = Mwta(proj, ProjAvgSpec(), {1, 1});
+  ASSERT_TRUE(mwta.ok());
+  // At t = 2 (project A) the window [1,3] intersects r1 (800) and r2 (400):
+  // avg = 600.
+  bool checked = false;
+  for (size_t i = 0; i < mwta->size(); ++i) {
+    if (mwta->group(i) == 0 && mwta->interval(i).Contains(2)) {
+      EXPECT_DOUBLE_EQ(mwta->value(i, 0), 600.0);
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST(MwtaTest, WindowClosesSmallGaps) {
+  // Project B's gap at month 6 disappears with a window of +-1: month 6's
+  // window [5,7] intersects both r4 and r5.
+  const TemporalRelation proj = MakeProjRelation();
+  auto mwta = Mwta(proj, ProjAvgSpec(), {1, 1});
+  ASSERT_TRUE(mwta.ok());
+  for (size_t i = 0; i + 1 < mwta->size(); ++i) {
+    if (mwta->group(i) == 1 && mwta->group(i + 1) == 1) {
+      EXPECT_TRUE(mwta->AdjacentPair(i));
+    }
+  }
+}
+
+TEST(MwtaTest, CumulativeWindowCountsHistory) {
+  // A window unbounded into the past (here: longer than the horizon) makes
+  // count(t) the number of tuples that started at or before t.
+  TemporalRelation rel{Schema({{"V", ValueType::kDouble}})};
+  ASSERT_TRUE(rel.Insert({Value(1.0)}, Interval(1, 2)).ok());
+  ASSERT_TRUE(rel.Insert({Value(2.0)}, Interval(4, 5)).ok());
+  auto mwta = Mwta(rel, {{}, {Count("N")}}, {100, 0});
+  ASSERT_TRUE(mwta.ok());
+  // t in [1,3]: only the first tuple's window reaches t; t in [4,102]:
+  // both (the first tuple stays within reach until te + 100 = 102);
+  // t in [103,105]: only the second.
+  SequentialRelation expected(1);
+  const double one = 1.0, two = 2.0;
+  expected.Append(0, Interval(1, 3), &one);
+  expected.Append(0, Interval(4, 102), &two);
+  expected.Append(0, Interval(103, 105), &one);
+  EXPECT_TRUE(mwta->ApproxEquals(expected));
+}
+
+TEST(MwtaTest, StreamMatchesBatch) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto stream = MwtaStream(proj, ProjAvgSpec(), {2, 1});
+  ASSERT_TRUE(stream.ok());
+  SequentialRelation drained((*stream)->num_aggregates());
+  Segment seg;
+  while ((*stream)->Next(&seg)) drained.Append(seg);
+
+  auto batch = Mwta(proj, ProjAvgSpec(), {2, 1});
+  ASSERT_TRUE(batch.ok());
+  EXPECT_TRUE(drained.ApproxEquals(*batch));
+}
+
+TEST(MwtaTest, StreamFeedsGreedyPta) {
+  // MWTA -> gPTAc composition: moving-window aggregates, parsimoniously.
+  const TemporalRelation proj = MakeProjRelation();
+  auto stream = MwtaStream(proj, ProjAvgSpec(), {1, 0});
+  ASSERT_TRUE(stream.ok());
+  auto reduced = GreedyReduceToSize(**stream, 3, {});
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_LE(reduced->relation.size(), 3u);
+  EXPECT_TRUE(reduced->relation.Validate().ok());
+}
+
+TEST(MwtaTest, RejectsNegativeWindows) {
+  const TemporalRelation proj = MakeProjRelation();
+  EXPECT_FALSE(Mwta(proj, ProjAvgSpec(), {-1, 0}).ok());
+  EXPECT_FALSE(Mwta(proj, ProjAvgSpec(), {0, -2}).ok());
+  EXPECT_FALSE(MwtaStream(proj, ProjAvgSpec(), {-1, -1}).ok());
+}
+
+TEST(MwtaTest, PropagatesSpecErrors) {
+  const TemporalRelation proj = MakeProjRelation();
+  EXPECT_FALSE(Mwta(proj, {{"Nope"}, {Avg("Sal", "A")}}, {1, 1}).ok());
+  EXPECT_FALSE(Mwta(proj, {{"Proj"}, {}}, {1, 1}).ok());
+}
+
+}  // namespace
+}  // namespace pta

@@ -1,0 +1,214 @@
+// Property-based suites: the same invariant checked across a parameter grid
+// of dataset shapes (size, dimensionality, groups, gaps) and bounds.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "pta/dp.h"
+#include "pta/greedy.h"
+#include "pta/pta.h"
+#include "test_util.h"
+
+namespace pta {
+namespace {
+
+using testing::BruteForceBestError;
+using testing::NaivePartitionSse;
+using testing::RandomSequential;
+
+struct Shape {
+  size_t n;
+  size_t p;
+  size_t groups;
+  double gap_probability;
+  uint64_t seed;
+};
+
+void PrintTo(const Shape& s, std::ostream* os) {
+  *os << "n=" << s.n << " p=" << s.p << " groups=" << s.groups
+      << " gaps=" << s.gap_probability << " seed=" << s.seed;
+}
+
+class ReductionProperties : public ::testing::TestWithParam<Shape> {
+ protected:
+  SequentialRelation Input() const {
+    const Shape& s = GetParam();
+    return RandomSequential(s.n, s.p, s.groups, s.gap_probability, s.seed);
+  }
+};
+
+TEST_P(ReductionProperties, DpIsOptimalAgainstBruteForce) {
+  const SequentialRelation rel = Input();
+  if (rel.size() > 12) GTEST_SKIP() << "brute force only on tiny inputs";
+  const ErrorContext ctx(rel);
+  for (size_t c = ctx.cmin(); c <= rel.size(); ++c) {
+    auto dp = ReduceToSizeDp(rel, c);
+    ASSERT_TRUE(dp.ok());
+    const double brute = BruteForceBestError(rel, c);
+    EXPECT_NEAR(dp->error, brute, 1e-6 * (1.0 + brute)) << "c=" << c;
+  }
+}
+
+TEST_P(ReductionProperties, ReductionsPartitionTheInput) {
+  // Every reducer output must cover exactly the input chronons, per group,
+  // and never merge across gaps (Def. 2/4).
+  const SequentialRelation rel = Input();
+  const size_t c = std::max(rel.CMin(), rel.size() / 3);
+
+  auto check = [&rel](const SequentialRelation& z) {
+    ASSERT_TRUE(z.Validate().ok());
+    // Each z segment must be the hull of a run of input segments.
+    size_t i = 0;
+    for (size_t zi = 0; zi < z.size(); ++zi) {
+      ASSERT_LT(i, rel.size());
+      EXPECT_EQ(z.group(zi), rel.group(i));
+      EXPECT_EQ(z.interval(zi).begin, rel.interval(i).begin);
+      while (i < rel.size() && rel.group(i) == z.group(zi) &&
+             rel.interval(i).end < z.interval(zi).end) {
+        // Interior boundaries must be adjacent pairs (no gap crossing).
+        ASSERT_TRUE(rel.AdjacentPair(i));
+        ++i;
+      }
+      ASSERT_LT(i, rel.size());
+      EXPECT_EQ(rel.interval(i).end, z.interval(zi).end);
+      ++i;
+    }
+    EXPECT_EQ(i, rel.size());
+  };
+
+  auto dp = ReduceToSizeDp(rel, c);
+  ASSERT_TRUE(dp.ok());
+  check(dp->relation);
+
+  auto gms = GmsReduceToSize(rel, c);
+  ASSERT_TRUE(gms.ok());
+  check(gms->relation);
+
+  RelationSegmentSource src(rel);
+  auto greedy = GreedyReduceToSize(src, c, {});
+  ASSERT_TRUE(greedy.ok());
+  check(greedy->relation);
+}
+
+TEST_P(ReductionProperties, MergingPreservesWeightedMass) {
+  // sum(length * value) per dimension per group is invariant under merging.
+  const SequentialRelation rel = Input();
+  const size_t c = std::max(rel.CMin(), rel.size() / 4);
+  auto dp = ReduceToSizeDp(rel, c);
+  ASSERT_TRUE(dp.ok());
+  for (size_t d = 0; d < rel.num_aggregates(); ++d) {
+    double before = 0, after = 0;
+    for (size_t i = 0; i < rel.size(); ++i) {
+      before += static_cast<double>(rel.length(i)) * rel.value(i, d);
+    }
+    const SequentialRelation& z = dp->relation;
+    for (size_t i = 0; i < z.size(); ++i) {
+      after += static_cast<double>(z.length(i)) * z.value(i, d);
+    }
+    EXPECT_NEAR(before, after, 1e-6 * (1.0 + std::fabs(before)));
+  }
+}
+
+TEST_P(ReductionProperties, GreedyNeverBeatsDp) {
+  const SequentialRelation rel = Input();
+  const ErrorContext ctx(rel);
+  for (size_t c = ctx.cmin(); c <= rel.size();
+       c += std::max<size_t>(1, rel.size() / 5)) {
+    auto dp = ReduceToSizeDp(rel, c);
+    auto gms = GmsReduceToSize(rel, c);
+    ASSERT_TRUE(dp.ok());
+    ASSERT_TRUE(gms.ok());
+    // Relative slack: when greedy finds the optimal partition, the two
+    // error accumulations differ only by floating-point rounding.
+    EXPECT_GE(gms->error + 1e-9 + 1e-9 * dp->error, dp->error) << "c=" << c;
+  }
+}
+
+TEST_P(ReductionProperties, ReportedErrorsMatchDef5Sse) {
+  const SequentialRelation rel = Input();
+  const size_t c = std::max(rel.CMin(), rel.size() / 2);
+  auto dp = ReduceToSizeDp(rel, c);
+  ASSERT_TRUE(dp.ok());
+  auto dp_sse = StepFunctionSse(rel, dp->relation);
+  ASSERT_TRUE(dp_sse.ok());
+  EXPECT_NEAR(dp->error, *dp_sse, 1e-6 * (1.0 + *dp_sse));
+
+  auto gms = GmsReduceToSize(rel, c);
+  ASSERT_TRUE(gms.ok());
+  auto gms_sse = StepFunctionSse(rel, gms->relation);
+  ASSERT_TRUE(gms_sse.ok());
+  EXPECT_NEAR(gms->error, *gms_sse, 1e-6 * (1.0 + *gms_sse));
+}
+
+TEST_P(ReductionProperties, PrunedDpMatchesPlainDp) {
+  const SequentialRelation rel = Input();
+  DpOptions plain;
+  plain.use_pruning = false;
+  plain.use_early_break = false;
+  const ErrorContext ctx(rel);
+  for (size_t c = ctx.cmin(); c <= rel.size();
+       c += std::max<size_t>(1, rel.size() / 4)) {
+    auto fast = ReduceToSizeDp(rel, c);
+    auto slow = ReduceToSizeDp(rel, c, plain);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(slow.ok());
+    EXPECT_NEAR(fast->error, slow->error, 1e-6 * (1.0 + slow->error));
+  }
+}
+
+TEST_P(ReductionProperties, StreamingGreedyEqualsGmsAtDeltaInfinity) {
+  const SequentialRelation rel = Input();
+  GreedyOptions lazy;
+  lazy.delta = GreedyOptions::kDeltaInfinity;
+  const size_t c = std::max(rel.CMin(), rel.size() / 3);
+  auto gms = GmsReduceToSize(rel, c);
+  RelationSegmentSource src(rel);
+  auto gpta = GreedyReduceToSize(src, c, lazy);
+  ASSERT_TRUE(gms.ok());
+  ASSERT_TRUE(gpta.ok());
+  EXPECT_TRUE(gpta->relation.ApproxEquals(gms->relation, 1e-7));
+}
+
+TEST_P(ReductionProperties, ErrorBoundedSizeShrinksWithLargerEps) {
+  const SequentialRelation rel = Input();
+  size_t previous_size = rel.size() + 1;
+  for (double eps : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+    auto red = ReduceToErrorDp(rel, eps);
+    ASSERT_TRUE(red.ok());
+    EXPECT_LE(red->relation.size(), previous_size);
+    previous_size = red->relation.size();
+  }
+  EXPECT_EQ(previous_size, rel.CMin());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ReductionProperties,
+    ::testing::Values(
+        Shape{8, 1, 1, 0.0, 101}, Shape{10, 2, 2, 0.2, 102},
+        Shape{12, 1, 1, 0.3, 103}, Shape{30, 1, 1, 0.0, 104},
+        Shape{40, 2, 3, 0.15, 105}, Shape{60, 4, 1, 0.05, 106},
+        Shape{64, 1, 8, 0.25, 107}, Shape{100, 3, 2, 0.1, 108},
+        Shape{128, 2, 1, 0.0, 109}, Shape{90, 1, 5, 0.4, 110}));
+
+// --- dimensionality sweep of the error measure (Sec. 7.2.1 rationale) ---
+
+class DimensionalityProperties : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(DimensionalityProperties, RunSseGrowsWithDimensions) {
+  // More aggregate dimensions -> more variance to lose when merging.
+  const size_t p = GetParam();
+  const SequentialRelation rel = RandomSequential(50, p, 1, 0.0, 200 + p);
+  const ErrorContext ctx(rel);
+  const double per_dim = ctx.RunSse(0, rel.size() - 1) / static_cast<double>(p);
+  EXPECT_GT(per_dim, 0.0);
+  // Naive and prefix-sum SSE agree at every dimensionality.
+  const double naive = NaivePartitionSse(rel, {{0, rel.size() - 1}});
+  EXPECT_NEAR(ctx.RunSse(0, rel.size() - 1), naive, 1e-6 * (1.0 + naive));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, DimensionalityProperties,
+                         ::testing::Values(1, 2, 4, 6, 8, 10, 12));
+
+}  // namespace
+}  // namespace pta

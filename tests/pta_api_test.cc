@@ -1,0 +1,110 @@
+#include "pta/pta.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pta {
+namespace {
+
+using testing::MakeProjRelation;
+
+ItaSpec ProjAvgSpec() { return {{"Proj"}, {Avg("Sal", "AvgSal")}}; }
+
+TEST(PtaApiTest, SizeBoundedRunsTheFullPipeline) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto result = PtaBySize(proj, ProjAvgSpec(), 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ita_size, 7u);
+  EXPECT_EQ(result->relation.size(), 4u);
+  EXPECT_NEAR(result->error, 49166.67, 0.01);
+
+  // The result converts back to displayable tuples (Fig. 1(d)).
+  const Schema group_schema({{"Proj", ValueType::kString}});
+  auto displayed = result->relation.ToTemporalRelation(group_schema);
+  ASSERT_TRUE(displayed.ok());
+  ASSERT_EQ(displayed->size(), 4u);
+  EXPECT_EQ(displayed->tuple(0).value(0).AsString(), "A");
+  EXPECT_NEAR(displayed->tuple(0).value(1).AsDoubleExact(), 733.33, 0.01);
+  EXPECT_EQ(displayed->tuple(0).interval(), Interval(1, 3));
+}
+
+TEST(PtaApiTest, ErrorBoundedReturnsMaximalReduction) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto all = PtaByError(proj, ProjAvgSpec(), 1.0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->relation.size(), 3u);  // cmin
+
+  auto some = PtaByError(proj, ProjAvgSpec(), 0.2);
+  ASSERT_TRUE(some.ok());
+  EXPECT_EQ(some->relation.size(), 4u);
+}
+
+TEST(PtaApiTest, GreedySizeBoundedMatchesGmsOnExample) {
+  const TemporalRelation proj = MakeProjRelation();
+  GreedyStats stats;
+  GreedyPtaOptions options;
+  options.delta = 1;
+  auto result = GreedyPtaBySize(proj, ProjAvgSpec(), 3, options, &stats);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ita_size, 7u);
+  ASSERT_EQ(result->relation.size(), 3u);
+  EXPECT_EQ(stats.max_heap_size, 5u);  // Example 21
+  // Group keys attached by the wrapper.
+  ASSERT_EQ(result->relation.group_keys().size(), 2u);
+  EXPECT_EQ(result->relation.group_keys()[0][0].AsString(), "A");
+}
+
+TEST(PtaApiTest, GreedyErrorBoundedEstimatesAndReduces) {
+  const TemporalRelation proj = MakeProjRelation();
+  GreedyPtaOptions options;
+  options.sample_fraction = 1.0;  // sample everything: exact Êmax
+  auto result = GreedyPtaByError(proj, ProjAvgSpec(), 1.0, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->relation.size(), 3u);
+
+  // Manual overrides are honored.
+  GreedyPtaOptions manual;
+  manual.estimated_max_error = 269285.71;
+  manual.estimated_n = 7;
+  auto result2 = GreedyPtaByError(proj, ProjAvgSpec(), 1.0, manual);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_EQ(result2->relation.size(), 3u);
+}
+
+TEST(PtaApiTest, ExactAndGreedyAgreeOnEasyReductions) {
+  // When the bound is loose both evaluations return the same relation.
+  const TemporalRelation proj = MakeProjRelation();
+  auto exact = PtaBySize(proj, ProjAvgSpec(), 6);
+  auto greedy = GreedyPtaBySize(proj, ProjAvgSpec(), 6);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_TRUE(exact->relation.ApproxEquals(greedy->relation, 1e-7));
+}
+
+TEST(PtaApiTest, PropagatesSpecErrors) {
+  const TemporalRelation proj = MakeProjRelation();
+  EXPECT_FALSE(PtaBySize(proj, {{"Nope"}, {Avg("Sal", "A")}}, 4).ok());
+  EXPECT_FALSE(PtaByError(proj, {{"Proj"}, {}}, 0.5).ok());
+  EXPECT_FALSE(GreedyPtaBySize(proj, {{"Proj"}, {Avg("Bad", "A")}}, 4).ok());
+  EXPECT_FALSE(GreedyPtaByError(proj, ProjAvgSpec(), 2.0).ok());
+  // c below cmin.
+  EXPECT_FALSE(PtaBySize(proj, ProjAvgSpec(), 2).ok());
+  // Invalid sampling fraction.
+  GreedyPtaOptions bad;
+  bad.sample_fraction = 0.0;
+  EXPECT_FALSE(GreedyPtaByError(proj, ProjAvgSpec(), 0.5, bad).ok());
+}
+
+TEST(PtaApiTest, WeightedQueriesFlowThrough) {
+  const TemporalRelation proj = MakeProjRelation();
+  PtaOptions options;
+  options.weights = {2.0};
+  auto result = PtaBySize(proj, ProjAvgSpec(), 4, options);
+  ASSERT_TRUE(result.ok());
+  // Same optimal partition, error scaled by w^2 = 4.
+  EXPECT_NEAR(result->error, 4.0 * 49166.67, 0.05);
+}
+
+}  // namespace
+}  // namespace pta

@@ -1,0 +1,76 @@
+#include "core/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace pta {
+namespace {
+
+Schema ProjSchema() {
+  return Schema({{"Empl", ValueType::kString},
+                 {"Proj", ValueType::kString},
+                 {"Sal", ValueType::kDouble}});
+}
+
+TEST(SchemaTest, IndexOfFindsAttributes) {
+  const Schema schema = ProjSchema();
+  EXPECT_EQ(schema.IndexOf("Empl"), 0);
+  EXPECT_EQ(schema.IndexOf("Sal"), 2);
+  EXPECT_EQ(schema.IndexOf("Nope"), -1);
+  EXPECT_EQ(schema.num_attributes(), 3u);
+}
+
+TEST(SchemaTest, AddAttributeRejectsDuplicates) {
+  Schema schema = ProjSchema();
+  EXPECT_TRUE(schema.AddAttribute("Bonus", ValueType::kDouble).ok());
+  const Status dup = schema.AddAttribute("Sal", ValueType::kInt64);
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ResolveAllMapsNamesToIndices) {
+  const Schema schema = ProjSchema();
+  auto indices = schema.ResolveAll({"Proj", "Empl"});
+  ASSERT_TRUE(indices.ok());
+  EXPECT_EQ(*indices, (std::vector<size_t>{1, 0}));
+
+  auto missing = schema.ResolveAll({"Proj", "Unknown"});
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ValidateRowChecksArityAndTypes) {
+  const Schema schema = ProjSchema();
+  EXPECT_TRUE(schema.ValidateRow({Value("a"), Value("b"), Value(1.0)}).ok());
+  // Nulls pass for any declared type.
+  EXPECT_TRUE(schema.ValidateRow({Value(), Value(), Value()}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(schema.ValidateRow({Value("a"), Value("b")}).ok());
+  // Wrong type.
+  EXPECT_FALSE(
+      schema.ValidateRow({Value("a"), Value("b"), Value("str")}).ok());
+}
+
+TEST(SchemaTest, ToStringListsNameTypePairs) {
+  EXPECT_EQ(ProjSchema().ToString(),
+            "(Empl:string, Proj:string, Sal:double)");
+  EXPECT_EQ(Schema().ToString(), "()");
+}
+
+TEST(StatusTest, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  EXPECT_EQ(Status::InvalidArgument("bad").ToString(), "InvalidArgument: bad");
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValueOrStatus) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 7);
+
+  Result<int> err(Status::OutOfRange("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace pta

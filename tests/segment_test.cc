@@ -1,0 +1,128 @@
+#include "pta/segment.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace pta {
+namespace {
+
+using testing::MakeProjIta;
+
+TEST(SegmentTest, AccessorsExposeColumnarData) {
+  const SequentialRelation rel = MakeProjIta();
+  EXPECT_EQ(rel.size(), 7u);
+  EXPECT_EQ(rel.num_aggregates(), 1u);
+  EXPECT_EQ(rel.group(0), 0);
+  EXPECT_EQ(rel.group(5), 1);
+  EXPECT_EQ(rel.interval(3), Interval(5, 6));
+  EXPECT_EQ(rel.length(3), 2);
+  EXPECT_DOUBLE_EQ(rel.value(1, 0), 600.0);
+  const SegmentView view = rel.view(2);
+  EXPECT_EQ(view.group, 0);
+  EXPECT_DOUBLE_EQ(view.values[0], 500.0);
+}
+
+TEST(SegmentTest, AdjacentPairFollowsDef2) {
+  const SequentialRelation rel = MakeProjIta();
+  EXPECT_TRUE(rel.AdjacentPair(0));   // s1 ≺ s2
+  EXPECT_TRUE(rel.AdjacentPair(3));   // s4 ≺ s5
+  EXPECT_FALSE(rel.AdjacentPair(4));  // s5, s6: different group
+  EXPECT_FALSE(rel.AdjacentPair(5));  // s6, s7: temporal gap
+}
+
+TEST(SegmentTest, CMinCountsMaximalRuns) {
+  // Running example: cmin = 7 - 4 = 3 (Sec. 4.1).
+  EXPECT_EQ(MakeProjIta().CMin(), 3u);
+  EXPECT_EQ(SequentialRelation(1).CMin(), 0u);
+}
+
+TEST(SegmentTest, ValidateCatchesDisorder) {
+  EXPECT_TRUE(MakeProjIta().Validate().ok());
+
+  SequentialRelation bad_group(1);
+  const double v = 1.0;
+  bad_group.Append(1, Interval(0, 1), &v);
+  bad_group.Append(0, Interval(2, 3), &v);
+  EXPECT_FALSE(bad_group.Validate().ok());
+
+  SequentialRelation overlap(1);
+  overlap.Append(0, Interval(0, 5), &v);
+  overlap.Append(0, Interval(5, 8), &v);
+  EXPECT_FALSE(overlap.Validate().ok());
+}
+
+TEST(SegmentTest, ToTemporalRelationAttachesGroupKeysAndNames) {
+  const SequentialRelation rel = MakeProjIta();
+  const Schema group_schema({{"Proj", ValueType::kString}});
+  auto out = rel.ToTemporalRelation(group_schema);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 7u);
+  EXPECT_EQ(out->schema().ToString(), "(Proj:string, AvgSal:double)");
+  EXPECT_EQ(out->tuple(0).value(0).AsString(), "A");
+  EXPECT_DOUBLE_EQ(out->tuple(0).value(1).AsDoubleExact(), 800.0);
+  EXPECT_EQ(out->tuple(6).value(0).AsString(), "B");
+
+  // Mismatched group schema arity fails.
+  const Schema two({{"A", ValueType::kString}, {"B", ValueType::kString}});
+  EXPECT_FALSE(rel.ToTemporalRelation(two).ok());
+}
+
+TEST(SegmentTest, RelationSegmentSourceEnumeratesAll) {
+  const SequentialRelation rel = MakeProjIta();
+  RelationSegmentSource src(rel);
+  EXPECT_EQ(src.num_aggregates(), 1u);
+  Segment seg;
+  size_t count = 0;
+  while (src.Next(&seg)) {
+    EXPECT_EQ(seg.group, rel.group(count));
+    EXPECT_EQ(seg.t, rel.interval(count));
+    EXPECT_DOUBLE_EQ(seg.values[0], rel.value(count, 0));
+    ++count;
+  }
+  EXPECT_EQ(count, rel.size());
+}
+
+TEST(SegmentTest, FromTimeSeriesBuildsUnitSegments) {
+  const std::vector<std::vector<double>> dims = {{1.0, 2.0, 2.0},
+                                                 {5.0, 5.0, 5.0}};
+  const SequentialRelation rel = FromTimeSeries(dims);
+  ASSERT_EQ(rel.size(), 3u);
+  EXPECT_EQ(rel.num_aggregates(), 2u);
+  EXPECT_EQ(rel.interval(1), Interval(1, 1));
+  EXPECT_DOUBLE_EQ(rel.value(2, 0), 2.0);
+  EXPECT_DOUBLE_EQ(rel.value(2, 1), 5.0);
+  EXPECT_EQ(rel.CMin(), 1u);
+}
+
+TEST(SegmentTest, ToTimeSeriesExpandsPerChronon) {
+  SequentialRelation rel(1);
+  const double a = 4.0, b = 7.0;
+  rel.Append(0, Interval(0, 2), &a);
+  rel.Append(0, Interval(3, 3), &b);
+  auto series = ToTimeSeries(rel);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 1u);
+  EXPECT_EQ((*series)[0], (std::vector<double>{4.0, 4.0, 4.0, 7.0}));
+}
+
+TEST(SegmentTest, ToTimeSeriesRejectsGapsAndGroups) {
+  EXPECT_FALSE(ToTimeSeries(MakeProjIta()).ok());  // two groups + gap
+  SequentialRelation gap(1);
+  const double v = 1.0;
+  gap.Append(0, Interval(0, 1), &v);
+  gap.Append(0, Interval(3, 4), &v);
+  EXPECT_FALSE(ToTimeSeries(gap).ok());
+}
+
+TEST(SegmentTest, ApproxEqualsUsesTolerance) {
+  SequentialRelation a(1), b(1);
+  const double va = 1.0, vb = 1.0 + 1e-12;
+  a.Append(0, Interval(0, 1), &va);
+  b.Append(0, Interval(0, 1), &vb);
+  EXPECT_TRUE(a.ApproxEquals(b, 1e-9));
+  EXPECT_FALSE(a.ApproxEquals(b, 1e-15));
+}
+
+}  // namespace
+}  // namespace pta

@@ -1,0 +1,142 @@
+// Shared fixtures and reference implementations for the test suite:
+//  * the paper's running example (the proj relation of Fig. 1);
+//  * a brute-force optimal reducer used to validate the DP algorithms;
+//  * random sequential-relation generators for property tests.
+
+#ifndef PTA_TESTS_TEST_UTIL_H_
+#define PTA_TESTS_TEST_UTIL_H_
+
+#include <limits>
+#include <vector>
+
+#include "core/relation.h"
+#include "pta/error.h"
+#include "pta/segment.h"
+#include "util/random.h"
+
+namespace pta {
+namespace testing {
+
+/// The proj relation of Fig. 1(a): five project assignments over months 1-8.
+inline TemporalRelation MakeProjRelation() {
+  TemporalRelation rel{Schema({{"Empl", ValueType::kString},
+                               {"Proj", ValueType::kString},
+                               {"Sal", ValueType::kDouble}})};
+  PTA_CHECK(rel.Insert({"John", "A", 800.0}, Interval(1, 4)).ok());
+  PTA_CHECK(rel.Insert({"Ann", "A", 400.0}, Interval(3, 6)).ok());
+  PTA_CHECK(rel.Insert({"Tom", "A", 300.0}, Interval(4, 7)).ok());
+  PTA_CHECK(rel.Insert({"John", "B", 500.0}, Interval(4, 5)).ok());
+  PTA_CHECK(rel.Insert({"John", "B", 500.0}, Interval(7, 8)).ok());
+  return rel;
+}
+
+/// The expected ITA result of Fig. 1(c) as a SequentialRelation
+/// (group 0 = project A, group 1 = project B).
+inline SequentialRelation MakeProjIta() {
+  SequentialRelation rel(1, {"AvgSal"});
+  auto add = [&rel](int32_t g, Chronon b, Chronon e, double v) {
+    rel.Append(g, Interval(b, e), &v);
+  };
+  add(0, 1, 2, 800.0);
+  add(0, 3, 3, 600.0);
+  add(0, 4, 4, 500.0);
+  add(0, 5, 6, 350.0);
+  add(0, 7, 7, 300.0);
+  add(1, 4, 5, 500.0);
+  add(1, 7, 8, 500.0);
+  rel.SetGroupKeys({{Value("A")}, {Value("B")}});
+  return rel;
+}
+
+/// SSE of partitioning `rel` into the given contiguous runs (0-based
+/// inclusive index pairs), computed naively from Def. 5.
+inline double NaivePartitionSse(const SequentialRelation& rel,
+                                const std::vector<std::pair<size_t, size_t>>& runs,
+                                const std::vector<double>& weights = {}) {
+  const size_t p = rel.num_aggregates();
+  const std::vector<double> w = WeightsOrOnes(p, weights);
+  double total = 0.0;
+  for (const auto& [from, to] : runs) {
+    for (size_t d = 0; d < p; ++d) {
+      // Weighted mean over the run.
+      double sum_l = 0.0, sum_lv = 0.0;
+      for (size_t i = from; i <= to; ++i) {
+        sum_l += static_cast<double>(rel.length(i));
+        sum_lv += static_cast<double>(rel.length(i)) * rel.value(i, d);
+      }
+      const double mean = sum_lv / sum_l;
+      for (size_t i = from; i <= to; ++i) {
+        const double diff = rel.value(i, d) - mean;
+        total += w[d] * w[d] * static_cast<double>(rel.length(i)) * diff * diff;
+      }
+    }
+  }
+  return total;
+}
+
+/// Exhaustive optimal reduction to exactly c runs; returns the minimum SSE
+/// (infinity if infeasible). Exponential — use only on tiny inputs.
+inline double BruteForceBestError(const SequentialRelation& rel, size_t c,
+                                  const std::vector<double>& weights = {}) {
+  const size_t n = rel.size();
+  if (c > n || c == 0) return std::numeric_limits<double>::infinity();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<std::pair<size_t, size_t>> runs;
+
+  // Recursive enumeration of contiguous partitions into c runs that never
+  // cross a non-adjacent pair.
+  auto recurse = [&](auto&& self, size_t start, size_t remaining) -> void {
+    if (remaining == 1) {
+      for (size_t i = start; i + 1 < n; ++i) {
+        if (!rel.AdjacentPair(i)) return;  // the final run crosses a gap
+      }
+      runs.emplace_back(start, n - 1);
+      const double err = NaivePartitionSse(rel, runs, weights);
+      if (err < best) best = err;
+      runs.pop_back();
+      return;
+    }
+    for (size_t end = start; end + (remaining - 1) <= n - 1; ++end) {
+      if (end > start && !rel.AdjacentPair(end - 1)) break;  // gap inside run
+      runs.emplace_back(start, end);
+      self(self, end + 1, remaining - 1);
+      runs.pop_back();
+    }
+  };
+  recurse(recurse, 0, c);
+  return best;
+}
+
+/// Random sequential relation: `num_groups` groups, each a chain of unit
+/// segments with `gap_probability` of a hole after each segment.
+inline SequentialRelation RandomSequential(size_t n, size_t p,
+                                           size_t num_groups,
+                                           double gap_probability,
+                                           uint64_t seed) {
+  PTA_CHECK(n >= 1 && p >= 1 && num_groups >= 1);
+  Random rng(seed);
+  SequentialRelation rel(p);
+  std::vector<GroupKey> keys;
+  std::vector<double> row(p);
+  for (size_t g = 0; g < num_groups; ++g) {
+    keys.push_back({Value(static_cast<int64_t>(g))});
+  }
+  Chronon t = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const int32_t g = static_cast<int32_t>(i * num_groups / n);
+    // Restart the clock whenever the group changes.
+    if (i == 0 || g != rel.group(rel.size() - 1)) t = 0;
+    for (size_t d = 0; d < p; ++d) row[d] = rng.Uniform(0.0, 100.0);
+    const Chronon len = rng.UniformInt(1, 3);
+    rel.Append(g, Interval(t, t + len - 1), row.data());
+    t += len;
+    if (rng.Bernoulli(gap_probability)) t += rng.UniformInt(1, 4);
+  }
+  rel.SetGroupKeys(std::move(keys));
+  return rel;
+}
+
+}  // namespace testing
+}  // namespace pta
+
+#endif  // PTA_TESTS_TEST_UTIL_H_

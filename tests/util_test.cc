@@ -1,0 +1,123 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+
+namespace pta {
+namespace {
+
+TEST(StatsTest, MeanAndDeviation) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5.0}), 0.0);
+  EXPECT_NEAR(SampleStdDev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}),
+              std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(StandardError({1.0, 3.0}), std::sqrt(2.0) / std::sqrt(2.0),
+              1e-12);
+}
+
+TEST(StatsTest, NormalizeTo) {
+  const std::vector<double> out = NormalizeTo({2.0, 4.0, 6.0}, 100.0);
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 50.0);
+  EXPECT_DOUBLE_EQ(out[2], 100.0);
+  // Constant input maps to zeros; empty stays empty.
+  EXPECT_EQ(NormalizeTo({5.0, 5.0}, 100.0), (std::vector<double>{0.0, 0.0}));
+  EXPECT_TRUE(NormalizeTo({}, 100.0).empty());
+}
+
+TEST(StatsTest, RunningStatsTracksExtremes) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  for (double v : {3.0, -1.0, 7.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.min(), -1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.0);
+}
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Random a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextUint64();
+    EXPECT_EQ(va, b.NextUint64());
+    (void)c.NextUint64();
+  }
+  Random a2(123), c2(124);
+  EXPECT_NE(a2.NextUint64(), c2.NextUint64());
+}
+
+TEST(RandomTest, UniformRangesAreRespected) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.Uniform(-2.0, 3.0);
+    EXPECT_GE(d, -2.0);
+    EXPECT_LT(d, 3.0);
+    const int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RandomTest, BernoulliAndGaussianAreCalibrated) {
+  Random rng(11);
+  int heads = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(heads) / trials, 0.3, 0.02);
+
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / trials, 1.0, 0.05);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  const double t0 = watch.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  // Restart resets the origin.
+  watch.Restart();
+  EXPECT_LE(watch.ElapsedSeconds(), t0 + 1.0);
+  EXPECT_GE(watch.ElapsedMillis(), 0.0);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"A", "Long header"});
+  table.AddRow({"xxxxxx", "1"});
+  table.AddRow({"y", "22"});
+  const std::string out = table.ToString();
+  EXPECT_EQ(out,
+            "| A      | Long header |\n"
+            "|--------|-------------|\n"
+            "| xxxxxx | 1           |\n"
+            "| y      | 22          |\n");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(int64_t{-42}), "-42");
+  EXPECT_EQ(TablePrinter::Fmt(uint64_t{7}), "7");
+  EXPECT_EQ(TablePrinter::FmtPercent(12.345, 1), "12.3%");
+  EXPECT_EQ(TablePrinter::FmtSci(12345.0, 2), "1.23e+04");
+}
+
+TEST(TablePrinterTest, RejectsMisshapenRows) {
+  TablePrinter table({"A", "B"});
+  EXPECT_DEATH(table.AddRow({"only one"}), "row width");
+}
+
+}  // namespace
+}  // namespace pta

@@ -1,0 +1,90 @@
+#include "core/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pta {
+namespace {
+
+TEST(ValueTest, TypeTagsFollowConstruction) {
+  EXPECT_EQ(Value().type(), ValueType::kNull);
+  EXPECT_EQ(Value(int64_t{5}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("abc").type(), ValueType::kString);
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_FALSE(Value(1).is_null());
+}
+
+TEST(ValueTest, AccessorsReturnPayload) {
+  EXPECT_EQ(Value(int64_t{42}).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.25).AsDoubleExact(), 2.25);
+  EXPECT_EQ(Value("xy").AsString(), "xy");
+}
+
+TEST(ValueTest, ToDoubleCoercesNumerics) {
+  EXPECT_DOUBLE_EQ(Value(int64_t{7}).ToDouble(), 7.0);
+  EXPECT_DOUBLE_EQ(Value(1.5).ToDouble(), 1.5);
+  EXPECT_TRUE(Value(int64_t{1}).IsNumeric());
+  EXPECT_TRUE(Value(0.5).IsNumeric());
+  EXPECT_FALSE(Value("1").IsNumeric());
+  EXPECT_FALSE(Value().IsNumeric());
+}
+
+TEST(ValueTest, EqualityRequiresSameTypeAndPayload) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_NE(Value(int64_t{1}), Value(1.0));  // int64 vs double
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_EQ(Value(), Value());
+}
+
+TEST(ValueTest, OrderSortsByTypeThenPayload) {
+  EXPECT_LT(Value(), Value(int64_t{0}));           // null < int64
+  EXPECT_LT(Value(int64_t{100}), Value(0.0));      // int64 < double
+  EXPECT_LT(Value(1e9), Value(""));                // double < string
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_FALSE(Value("abc") < Value("abc"));
+}
+
+TEST(ValueTest, HashIsStableAndTypeSensitive) {
+  EXPECT_EQ(Value(int64_t{7}).Hash(), Value(int64_t{7}).Hash());
+  EXPECT_EQ(Value("pta").Hash(), Value("pta").Hash());
+  EXPECT_NE(Value(int64_t{7}).Hash(), Value(7.0).Hash());
+  // -0.0 and 0.0 compare equal, so they must hash equal.
+  EXPECT_EQ(Value(-0.0).Hash(), Value(0.0).Hash());
+}
+
+TEST(ValueTest, ToStringRendersPayload) {
+  EXPECT_EQ(Value().ToString(), "null");
+  EXPECT_EQ(Value(int64_t{-3}).ToString(), "-3");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(GroupKeyTest, LexicographicOrder) {
+  const GroupKey a{Value("A"), Value(int64_t{1})};
+  const GroupKey b{Value("A"), Value(int64_t{2})};
+  const GroupKey c{Value("B"), Value(int64_t{0})};
+  EXPECT_TRUE(GroupKeyLess(a, b));
+  EXPECT_TRUE(GroupKeyLess(b, c));
+  EXPECT_FALSE(GroupKeyLess(c, a));
+  EXPECT_FALSE(GroupKeyLess(a, a));
+  // Prefix keys sort first.
+  EXPECT_TRUE(GroupKeyLess(GroupKey{Value("A")}, a));
+}
+
+TEST(GroupKeyTest, HashMatchesEquality) {
+  const GroupKey a{Value("A"), Value(int64_t{1})};
+  const GroupKey a2{Value("A"), Value(int64_t{1})};
+  const GroupKey b{Value("A"), Value(int64_t{2})};
+  EXPECT_EQ(GroupKeyHash(a), GroupKeyHash(a2));
+  EXPECT_NE(GroupKeyHash(a), GroupKeyHash(b));
+}
+
+TEST(GroupKeyTest, ToStringRendersTuple) {
+  EXPECT_EQ(GroupKeyToString({Value("A"), Value(int64_t{3})}), "(A, 3)");
+  EXPECT_EQ(GroupKeyToString({}), "()");
+}
+
+}  // namespace
+}  // namespace pta
