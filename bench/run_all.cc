@@ -1,0 +1,155 @@
+// run_all: execute every bench_* harness and emit one JSON record per
+// bench, suitable for appending to the BENCH_*.json perf trajectory.
+//
+// Usage:
+//   run_all [--quick] [--scale S] [--output FILE]
+//
+// --quick sets PTA_BENCH_SCALE=0.05 (and a minimal min-time for the
+// google-benchmark harness) so the whole sweep finishes in seconds;
+// --scale overrides the scale factor explicitly. Records are printed as
+// JSON Lines on stdout; --output additionally writes them as a JSON array.
+
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct BenchSpec {
+  const char* name;
+  // Extra argv appended in --quick mode (google-benchmark flags only).
+  const char* quick_args;
+};
+
+constexpr BenchSpec kBenches[] = {
+    {"bench_ablation_gap_merge", ""},
+    {"bench_ablation_pruning", ""},
+    {"bench_fig2_approximations", ""},
+    {"bench_fig14_error_vs_reduction", ""},
+    {"bench_fig15_greedy_quality", ""},
+    {"bench_fig16_error_ratio", ""},
+    {"bench_fig17_delta_impact", ""},
+    {"bench_fig18_runtime_input", ""},
+    {"bench_fig19_runtime_output", ""},
+    {"bench_fig20_heap_size", ""},
+    {"bench_fig21_greedy_scalability", ""},
+    {"bench_table1_datasets", ""},
+#if PTA_HAVE_MICRO_BENCH
+    {"bench_micro_core", " --benchmark_min_time=0.01"},
+#endif
+};
+
+std::string DirName(const std::string& path) {
+  const size_t pos = path.find_last_of('/');
+  if (pos == std::string::npos) return ".";
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+struct Record {
+  std::string name;
+  bool ok = false;
+  int exit_code = 0;
+  double seconds = 0.0;
+  double scale = 1.0;
+
+  std::string ToJson() const {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\": \"%s\", \"ok\": %s, \"exit_code\": %d, "
+                  "\"wall_seconds\": %.3f, \"scale\": %g}",
+                  JsonEscape(name).c_str(), ok ? "true" : "false", exit_code,
+                  seconds, scale);
+    return buf;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  double scale = -1.0;
+  std::string output;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--quick") {
+      quick = true;
+    } else if (flag == "--scale" && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    } else if (flag == "--output" && i + 1 < argc) {
+      output = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--scale S] [--output FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (scale < 0.0) scale = quick ? 0.05 : 1.0;
+
+  char scale_str[64];
+  std::snprintf(scale_str, sizeof(scale_str), "%g", scale);
+  setenv("PTA_BENCH_SCALE", scale_str, /*overwrite=*/1);
+
+  const std::string dir = DirName(argv[0]);
+  std::vector<Record> records;
+  bool all_ok = true;
+  for (const BenchSpec& bench : kBenches) {
+    std::string cmd = "\"" + dir + "/" + bench.name + "\"";
+    if (quick) cmd += bench.quick_args;
+    cmd += " > /dev/null 2>&1";
+    std::fprintf(stderr, "[run_all] %s ...\n", bench.name);
+
+    const auto start = std::chrono::steady_clock::now();
+    const int rc = std::system(cmd.c_str());
+    const auto end = std::chrono::steady_clock::now();
+
+    Record rec;
+    rec.name = bench.name;
+    rec.exit_code =
+        rc != -1 && WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+    rec.ok = rc == 0;
+    rec.seconds = std::chrono::duration<double>(end - start).count();
+    rec.scale = scale;
+    all_ok = all_ok && rec.ok;
+    std::printf("%s\n", rec.ToJson().c_str());
+    std::fflush(stdout);
+    records.push_back(rec);
+  }
+
+  if (!output.empty()) {
+    FILE* f = std::fopen(output.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", output.c_str());
+      return 1;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records.size(); ++i) {
+      std::fprintf(f, "  %s%s\n", records[i].ToJson().c_str(),
+                   i + 1 < records.size() ? "," : "");
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+  }
+  return all_ok ? 0 : 1;
+}

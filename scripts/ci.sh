@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build, run the full ctest suite.
+#
+# Usage: scripts/ci.sh [--asan]
+#   --asan   build in a separate tree (build-asan/) with
+#            -fsanitize=address,undefined and run the suite under it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=build
+cmake_args=()
+if [[ "${1:-}" == "--asan" ]]; then
+  build_dir=build-asan
+  cmake_args+=(-DPTA_SANITIZE=ON)
+  shift
+fi
+if [[ $# -gt 0 ]]; then
+  echo "usage: $0 [--asan]" >&2
+  exit 2
+fi
+
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j
+cd "$build_dir" && ctest --output-on-failure -j

@@ -1,0 +1,31 @@
+# Smoke test: run pta_csv_tool over the checked-in Fig. 1 fixture and
+# compare its stdout against the golden file byte-for-byte.
+# Expects -DTOOL=, -DFIXTURE_DIR=, -DOUT_DIR=.
+
+execute_process(
+  COMMAND ${TOOL}
+          --input ${FIXTURE_DIR}/proj.csv
+          --schema Empl:string,Proj:string,Sal:double
+          --group-by Proj
+          --agg avg:Sal:AvgSal
+          --size 4
+  OUTPUT_FILE ${OUT_DIR}/csv_tool_out.csv
+  ERROR_VARIABLE tool_stderr
+  RESULT_VARIABLE tool_rc
+)
+if(NOT tool_rc EQUAL 0)
+  message(FATAL_ERROR "pta_csv_tool exited with ${tool_rc}: ${tool_stderr}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${OUT_DIR}/csv_tool_out.csv ${FIXTURE_DIR}/proj_golden.csv
+  RESULT_VARIABLE diff_rc
+)
+if(NOT diff_rc EQUAL 0)
+  file(READ ${OUT_DIR}/csv_tool_out.csv actual)
+  file(READ ${FIXTURE_DIR}/proj_golden.csv expected)
+  message(FATAL_ERROR "output differs from golden file.\n"
+                      "--- expected ---\n${expected}\n"
+                      "--- actual ---\n${actual}")
+endif()

@@ -96,6 +96,134 @@ TEST(PtaApiTest, PropagatesSpecErrors) {
   EXPECT_FALSE(GreedyPtaByError(proj, ProjAvgSpec(), 0.5, bad).ok());
 }
 
+// --- Degenerate inputs: every public entry point must return a Result<>
+// --- error (or a well-defined identity) instead of crashing.
+
+TemporalRelation MakeEmptyRelation() {
+  return TemporalRelation{Schema({{"Empl", ValueType::kString},
+                                  {"Proj", ValueType::kString},
+                                  {"Sal", ValueType::kDouble}})};
+}
+
+TemporalRelation MakeSingleTupleRelation() {
+  TemporalRelation rel = MakeEmptyRelation();
+  PTA_CHECK(rel.Insert({"John", "A", 800.0}, Interval(1, 4)).ok());
+  return rel;
+}
+
+TEST(PtaApiDegenerateTest, EmptyRelationYieldsEmptyResult) {
+  const TemporalRelation empty = MakeEmptyRelation();
+  auto by_size = PtaBySize(empty, ProjAvgSpec(), 1);
+  ASSERT_TRUE(by_size.ok());
+  EXPECT_EQ(by_size->relation.size(), 0u);
+  EXPECT_EQ(by_size->ita_size, 0u);
+  EXPECT_DOUBLE_EQ(by_size->error, 0.0);
+
+  auto by_error = PtaByError(empty, ProjAvgSpec(), 0.5);
+  ASSERT_TRUE(by_error.ok());
+  EXPECT_EQ(by_error->relation.size(), 0u);
+
+  auto greedy_size = GreedyPtaBySize(empty, ProjAvgSpec(), 1);
+  ASSERT_TRUE(greedy_size.ok());
+  EXPECT_EQ(greedy_size->relation.size(), 0u);
+
+  auto greedy_error = GreedyPtaByError(empty, ProjAvgSpec(), 0.5);
+  ASSERT_TRUE(greedy_error.ok());
+  EXPECT_EQ(greedy_error->relation.size(), 0u);
+}
+
+TEST(PtaApiDegenerateTest, SingleTupleIsItsOwnReduction) {
+  const TemporalRelation one = MakeSingleTupleRelation();
+  auto exact = PtaBySize(one, ProjAvgSpec(), 1);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->relation.size(), 1u);
+  EXPECT_EQ(exact->ita_size, 1u);
+  EXPECT_DOUBLE_EQ(exact->error, 0.0);
+
+  auto greedy = GreedyPtaBySize(one, ProjAvgSpec(), 1);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_EQ(greedy->relation.size(), 1u);
+  EXPECT_EQ(greedy->ita_size, 1u);
+  EXPECT_DOUBLE_EQ(greedy->error, 0.0);
+
+  auto by_error = PtaByError(one, ProjAvgSpec(), 0.0);
+  ASSERT_TRUE(by_error.ok());
+  EXPECT_EQ(by_error->relation.size(), 1u);
+}
+
+TEST(PtaApiDegenerateTest, ZeroSizeBoundIsRejected) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto exact = PtaBySize(proj, ProjAvgSpec(), 0);
+  ASSERT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kInvalidArgument);
+
+  auto greedy = GreedyPtaBySize(proj, ProjAvgSpec(), 0);
+  ASSERT_FALSE(greedy.ok());
+  EXPECT_EQ(greedy.status().code(), StatusCode::kInvalidArgument);
+
+  // Rejected even when the input itself is empty.
+  const TemporalRelation empty = MakeEmptyRelation();
+  EXPECT_FALSE(PtaBySize(empty, ProjAvgSpec(), 0).ok());
+  EXPECT_FALSE(GreedyPtaBySize(empty, ProjAvgSpec(), 0).ok());
+}
+
+TEST(PtaApiDegenerateTest, SizeBoundAtOrAboveItaIsIdentity) {
+  const TemporalRelation proj = MakeProjRelation();
+  for (const size_t c : {size_t{7}, size_t{100}}) {
+    auto exact = PtaBySize(proj, ProjAvgSpec(), c);
+    ASSERT_TRUE(exact.ok()) << "c = " << c;
+    EXPECT_EQ(exact->relation.size(), 7u);
+    EXPECT_DOUBLE_EQ(exact->error, 0.0);
+
+    auto greedy = GreedyPtaBySize(proj, ProjAvgSpec(), c);
+    ASSERT_TRUE(greedy.ok()) << "c = " << c;
+    EXPECT_EQ(greedy->relation.size(), 7u);
+    EXPECT_DOUBLE_EQ(greedy->error, 0.0);
+  }
+}
+
+TEST(PtaApiDegenerateTest, ZeroEpsilonKeepsEverything) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto exact = PtaByError(proj, ProjAvgSpec(), 0.0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->relation.size(), 7u);
+  EXPECT_DOUBLE_EQ(exact->error, 0.0);
+
+  GreedyPtaOptions options;
+  options.sample_fraction = 1.0;
+  auto greedy = GreedyPtaByError(proj, ProjAvgSpec(), 0.0, options);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_EQ(greedy->relation.size(), 7u);
+}
+
+TEST(PtaApiDegenerateTest, FullEpsilonReachesCmin) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto exact = PtaByError(proj, ProjAvgSpec(), 1.0);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(exact->relation.size(), 3u);
+
+  GreedyPtaOptions options;
+  options.sample_fraction = 1.0;
+  auto greedy = GreedyPtaByError(proj, ProjAvgSpec(), 1.0, options);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_EQ(greedy->relation.size(), 3u);
+}
+
+TEST(PtaApiDegenerateTest, OutOfRangeEpsilonIsRejected) {
+  const TemporalRelation proj = MakeProjRelation();
+  for (const double eps : {-0.1, 1.5}) {
+    auto exact = PtaByError(proj, ProjAvgSpec(), eps);
+    ASSERT_FALSE(exact.ok()) << "eps = " << eps;
+    EXPECT_EQ(exact.status().code(), StatusCode::kInvalidArgument);
+
+    GreedyPtaOptions options;
+    options.estimated_max_error = 100.0;  // skip sampling: eps must fail
+    auto greedy = GreedyPtaByError(proj, ProjAvgSpec(), eps, options);
+    ASSERT_FALSE(greedy.ok()) << "eps = " << eps;
+    EXPECT_EQ(greedy.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
 TEST(PtaApiTest, WeightedQueriesFlowThrough) {
   const TemporalRelation proj = MakeProjRelation();
   PtaOptions options;
