@@ -1,0 +1,160 @@
+// Parallel engine scaling: throughput of the group-sharded gPTAc engine as
+// a function of the thread count, on the synthetic multi-group dataset
+// (Table 1(d), query S2 shape: many independent groups).
+//
+// Not a paper figure — this benchmarks the repo's own parallel subsystem
+// (docs/ARCHITECTURE.md §4). Stdout is JSON Lines so the records can be
+// appended to a perf trajectory; the human-readable table goes to stderr.
+// Two invariants are checked and reported in the summary record:
+//   * with one shard and one thread, the engine output is byte-identical
+//     to single-threaded GreedyReduceToSize;
+//   * at a fixed shard count the output is identical for every thread count.
+//
+// Usage: bench_parallel_scaling [--quick]   (also honors PTA_BENCH_SCALE)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/ita.h"
+#include "datasets/synthetic.h"
+#include "pta/greedy.h"
+#include "pta/parallel.h"
+#include "util/stopwatch.h"
+#include "util/table_printer.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace pta;
+
+bool ExactlyEqual(const SequentialRelation& a, const SequentialRelation& b) {
+  if (a.size() != b.size() || a.num_aggregates() != b.num_aggregates()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.group(i) != b.group(i) || !(a.interval(i) == b.interval(i))) {
+      return false;
+    }
+    for (size_t d = 0; d < a.num_aggregates(); ++d) {
+      if (std::memcmp(&a.values(i)[d], &b.values(i)[d], sizeof(double)) != 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      // Match run_all --quick; an explicit PTA_BENCH_SCALE wins.
+      setenv("PTA_BENCH_SCALE", "0.05", /*overwrite=*/0);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  std::fprintf(stderr,
+               "bench_parallel_scaling — group-sharded gPTAc engine "
+               "(scale %.2f, %zu hardware threads)\n",
+               bench::ScaleFromEnv(), ThreadPool::DefaultThreadCount());
+
+  // 256 groups of unit segments: the S2 shape, embarrassingly partitionable.
+  constexpr size_t kGroups = 256;
+  constexpr size_t kShards = 16;
+  constexpr size_t kDims = 4;
+  const size_t per_group = bench::Scaled(4000, /*minimum=*/50);
+  const SequentialRelation rel =
+      GenerateSyntheticSequential(kGroups, per_group, kDims, /*seed=*/7);
+  const size_t n = rel.size();
+  const size_t c = std::max<size_t>(kGroups, n / 10);
+
+  // Invariant 1: one shard, one thread == single-threaded gPTAc, byte for
+  // byte (same segment sequence, same merge schedule).
+  bool t1_identical = false;
+  {
+    auto map = GroupShardMap(rel.group_keys(), {"G"}, {}, 1);
+    PTA_CHECK(map.ok());
+    RelationSegmentSource to_shard(rel);
+    auto one_shard = ShardedSegmentSource::Partition(to_shard, 1, *map);
+    PTA_CHECK(one_shard.ok());
+    ParallelReduceOptions options;
+    options.num_threads = 1;
+    auto parallel = ParallelReduceToSize(*one_shard, c, options);
+    RelationSegmentSource src(rel);
+    auto greedy = GreedyReduceToSize(src, c);
+    PTA_CHECK(parallel.ok() && greedy.ok());
+    t1_identical = ExactlyEqual(parallel->relation, greedy->relation) &&
+                   parallel->error == greedy->error;
+  }
+
+  // Scaling sweep at a fixed shard count (so every run computes the same
+  // result and only the thread count varies).
+  auto map = GroupShardMap(rel.group_keys(), {"G"}, {}, kShards);
+  PTA_CHECK(map.ok());
+  RelationSegmentSource to_shard(rel);
+  auto sharded = ShardedSegmentSource::Partition(to_shard, kShards, *map);
+  PTA_CHECK(sharded.ok());
+
+  TablePrinter table({"Threads", "Wall [s]", "Segments/s", "Speedup"});
+  SequentialRelation reference;
+  bool deterministic = true;
+  double t1_seconds = 0.0;
+  double speedup_4t = 0.0;
+  for (size_t threads : {1u, 2u, 4u, 8u}) {
+    ParallelReduceOptions options;
+    options.num_threads = threads;
+    // Best of two runs to damp scheduler noise.
+    double best = 0.0;
+    Result<Reduction> red = Reduction{};
+    for (int rep = 0; rep < 2; ++rep) {
+      Stopwatch watch;
+      red = ParallelReduceToSize(*sharded, c, options);
+      const double seconds = watch.ElapsedSeconds();
+      PTA_CHECK(red.ok());
+      if (rep == 0 || seconds < best) best = seconds;
+    }
+    if (threads == 1) {
+      t1_seconds = best;
+      reference = red->relation;
+    } else if (!ExactlyEqual(red->relation, reference)) {
+      deterministic = false;
+    }
+    const double throughput = static_cast<double>(n) / best;
+    const double speedup = t1_seconds / best;
+    if (threads == 4) speedup_4t = speedup;
+    std::printf(
+        "{\"bench\": \"parallel_scaling\", \"threads\": %zu, "
+        "\"shards\": %zu, \"segments\": %zu, \"c\": %zu, "
+        "\"wall_seconds\": %.4f, \"segments_per_second\": %.0f, "
+        "\"speedup_vs_1thread\": %.3f}\n",
+        threads, kShards, n, c, best, throughput, speedup);
+    table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(threads)),
+                  TablePrinter::Fmt(best, 3),
+                  TablePrinter::Fmt(throughput, 0),
+                  TablePrinter::Fmt(speedup, 2)});
+  }
+  std::printf(
+      "{\"bench\": \"parallel_scaling_summary\", \"segments\": %zu, "
+      "\"hardware_threads\": %zu, \"t1_identical_to_greedy\": %s, "
+      "\"deterministic_across_threads\": %s, \"speedup_4t\": %.3f}\n",
+      n, ThreadPool::DefaultThreadCount(), t1_identical ? "true" : "false",
+      deterministic ? "true" : "false", speedup_4t);
+
+  std::fputs(table.ToString().c_str(), stderr);
+  std::fprintf(stderr,
+               "\nexpected shape: near-linear speedup up to the hardware "
+               "thread count\n(speedup saturates at 1.0 on single-core "
+               "hosts); identical output at every\nthread count.\n");
+  if (!t1_identical || !deterministic) {
+    std::fprintf(stderr, "FAILED: determinism invariants violated\n");
+    return 1;
+  }
+  return 0;
+}

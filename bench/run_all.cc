@@ -38,6 +38,7 @@ constexpr BenchSpec kBenches[] = {
     {"bench_fig19_runtime_output", ""},
     {"bench_fig20_heap_size", ""},
     {"bench_fig21_greedy_scalability", ""},
+    {"bench_parallel_scaling", ""},
     {"bench_table1_datasets", ""},
 #if PTA_HAVE_MICRO_BENCH
     {"bench_micro_core", " --benchmark_min_time=0.01"},

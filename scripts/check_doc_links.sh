@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Docs link checker: fails on dead *relative* links in the repo's *.md files.
+#
+# Scans every tracked or untracked-but-unignored markdown file for
+# [text](target) links, ignores
+# absolute URLs (scheme://...), mailto: and pure #anchors, strips any
+# #fragment from the rest, and verifies the target exists relative to the
+# file containing the link.
+#
+# Usage: scripts/check_doc_links.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+failures=0
+while IFS= read -r file; do
+  dir=$(dirname "$file")
+  # One link target per line; tolerate several links on one source line.
+  while IFS= read -r target; do
+    [[ -z "$target" ]] && continue
+    case "$target" in
+      *://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}
+    [[ -z "$path" ]] && continue
+    if [[ ! -e "$dir/$path" ]]; then
+      echo "dead link in $file: ($target)" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" 2>/dev/null \
+             | sed -e 's/^](//' -e 's/)$//' -e 's/ ".*"$//')
+done < <(git ls-files -co --exclude-standard -- '*.md')
+
+if [[ $failures -gt 0 ]]; then
+  echo "check_doc_links: $failures dead link(s)" >&2
+  exit 1
+fi
+echo "check_doc_links: all relative markdown links resolve"

@@ -1,24 +1,35 @@
 #!/usr/bin/env bash
-# Tier-1 verify: configure, build, run the full ctest suite.
+# Tier-1 verify: docs link check, configure, build, run the ctest suite.
 #
-# Usage: scripts/ci.sh [--asan]
+# Usage: scripts/ci.sh [--asan | --tsan]
 #   --asan   build in a separate tree (build-asan/) with
-#            -fsanitize=address,undefined and run the suite under it
+#            -fsanitize=address,undefined and run the full suite under it
+#   --tsan   build in a separate tree (build-tsan/) with -fsanitize=thread
+#            and run the concurrency-sensitive subset
+#            (ctest -L 'integration|parallel')
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir=build
 cmake_args=()
+ctest_args=()
 if [[ "${1:-}" == "--asan" ]]; then
   build_dir=build-asan
   cmake_args+=(-DPTA_SANITIZE=ON)
   shift
+elif [[ "${1:-}" == "--tsan" ]]; then
+  build_dir=build-tsan
+  cmake_args+=(-DPTA_SANITIZE_THREAD=ON)
+  ctest_args+=(-L 'integration|parallel')
+  shift
 fi
 if [[ $# -gt 0 ]]; then
-  echo "usage: $0 [--asan]" >&2
+  echo "usage: $0 [--asan | --tsan]" >&2
   exit 2
 fi
 
+scripts/check_doc_links.sh
+
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j
-cd "$build_dir" && ctest --output-on-failure -j
+cd "$build_dir" && ctest --output-on-failure "${ctest_args[@]}" -j

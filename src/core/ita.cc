@@ -187,4 +187,50 @@ Result<SequentialRelation> Ita(const TemporalRelation& rel,
   return out;
 }
 
+Result<std::vector<uint32_t>> GroupShardMap(
+    const std::vector<GroupKey>& group_keys,
+    const std::vector<std::string>& group_by,
+    const std::vector<std::string>& shard_by, size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  // Resolve shard_by names to positions within the group key.
+  std::vector<size_t> positions;
+  positions.reserve(shard_by.size());
+  for (const std::string& name : shard_by) {
+    size_t pos = group_by.size();
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (group_by[i] == name) {
+        pos = i;
+        break;
+      }
+    }
+    if (pos == group_by.size()) {
+      return Status::InvalidArgument("shard_by attribute '" + name +
+                                     "' is not a grouping attribute");
+    }
+    positions.push_back(pos);
+  }
+
+  std::vector<uint32_t> shard_of;
+  shard_of.reserve(group_keys.size());
+  GroupKey projected;
+  for (const GroupKey& key : group_keys) {
+    if (!group_by.empty() && key.size() != group_by.size()) {
+      return Status::InvalidArgument(
+          "group key arity does not match group_by");
+    }
+    uint64_t h;
+    if (shard_by.empty()) {
+      h = GroupKeyHash(key);
+    } else {
+      projected.clear();
+      for (size_t pos : positions) projected.push_back(key[pos]);
+      h = GroupKeyHash(projected);
+    }
+    shard_of.push_back(static_cast<uint32_t>(h % num_shards));
+  }
+  return shard_of;
+}
+
 }  // namespace pta

@@ -104,6 +104,20 @@ class ItaStream : public SegmentSource {
 Result<SequentialRelation> Ita(const TemporalRelation& rel,
                                const ItaSpec& spec);
 
+/// \brief Stable shard assignment for ITA groups.
+///
+/// Maps each dense group id g to `GroupKeyHash(keys[g] projected onto
+/// shard_by) % num_shards`. `group_by` gives the attribute order of the
+/// stored keys (an ItaSpec's group_by); `shard_by` names the subset to hash
+/// — empty means the full key, so every group gets its own shard slot.
+/// The hash is byte-stable (FNV-1a over normalized payloads), so the same
+/// data produces the same sharding on every platform and run. Fails when a
+/// shard_by name is not a grouping attribute.
+Result<std::vector<uint32_t>> GroupShardMap(
+    const std::vector<GroupKey>& group_keys,
+    const std::vector<std::string>& group_by,
+    const std::vector<std::string>& shard_by, size_t num_shards);
+
 }  // namespace pta
 
 #endif  // PTA_CORE_ITA_H_

@@ -97,4 +97,25 @@ std::string TemporalRelation::ToString() const {
   return out;
 }
 
+Result<std::vector<TemporalRelation>> PartitionByGroupHash(
+    const TemporalRelation& rel, const std::vector<std::string>& group_by,
+    size_t num_shards) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  auto indices = rel.schema().ResolveAll(group_by);
+  if (!indices.ok()) return indices.status();
+
+  std::vector<TemporalRelation> shards;
+  shards.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards.emplace_back(rel.schema());
+  }
+  for (const Tuple& t : rel.tuples()) {
+    const uint64_t h = GroupKeyHash(t.Project(*indices));
+    shards[static_cast<size_t>(h % num_shards)].InsertUnchecked(t);
+  }
+  return shards;
+}
+
 }  // namespace pta

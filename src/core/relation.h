@@ -58,6 +58,18 @@ class TemporalRelation {
   std::vector<Tuple> tuples_;
 };
 
+/// \brief Stable group-hash partitioning of a base relation.
+///
+/// Splits `rel` into `num_shards` relations (all sharing rel's schema):
+/// tuple t goes to shard `GroupKeyHash(t projected onto group_by) %
+/// num_shards`, so all tuples of one aggregation group land in the same
+/// shard and ITA/PTA can run per shard independently. Tuples keep their
+/// relative order; the hash is byte-stable across platforms and runs.
+/// Fails on unknown attribute names.
+Result<std::vector<TemporalRelation>> PartitionByGroupHash(
+    const TemporalRelation& rel, const std::vector<std::string>& group_by,
+    size_t num_shards);
+
 }  // namespace pta
 
 #endif  // PTA_CORE_RELATION_H_

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/random.h"
+
 namespace pta {
 
 std::vector<double> WeightsOrOnes(size_t p,
@@ -112,6 +114,29 @@ double ErrorContext::MaxError() const {
   }
   if (n_ > 0) total += RunSse(run_start, n_ - 1);
   return total;
+}
+
+Result<double> EstimateMaxErrorBySampling(const SequentialRelation& rel,
+                                          const std::vector<double>& weights,
+                                          double fraction, uint64_t seed,
+                                          bool merge_across_gaps) {
+  if (fraction <= 0.0 || fraction > 1.0) {
+    return Status::InvalidArgument("sample fraction must be in (0, 1]");
+  }
+  if (fraction == 1.0) {
+    const ErrorContext ctx(rel, weights, merge_across_gaps);
+    return ctx.MaxError();
+  }
+  SequentialRelation sample(rel.num_aggregates());
+  Random rng(seed);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    if (rng.Bernoulli(fraction)) {
+      sample.Append(rel.group(i), rel.interval(i), rel.values(i));
+    }
+  }
+  if (sample.empty()) return 0.0;
+  const ErrorContext ctx(sample, weights, merge_across_gaps);
+  return ctx.MaxError() / fraction;
 }
 
 Result<double> StepFunctionSse(const SequentialRelation& s,

@@ -108,6 +108,20 @@ class ErrorContext {
   std::vector<size_t> gaps_;
 };
 
+/// \brief Êmax by deterministic segment sampling (the Sec. 6.3 estimator,
+/// applied at the sequential-relation level).
+///
+/// Draws a Bernoulli(fraction) sample of the segments, computes the sampled
+/// sub-relation's exact MaxError, and scales by 1/fraction. fraction = 1
+/// short-circuits to the exact MaxError. This is what the parallel engine's
+/// budget allocator uses to weigh shards; like the gPTAε estimator, an
+/// underestimate only costs quality headroom, never correctness. The result
+/// is deterministic for a fixed seed. Fails when fraction is outside (0, 1].
+Result<double> EstimateMaxErrorBySampling(const SequentialRelation& rel,
+                                          const std::vector<double>& weights,
+                                          double fraction, uint64_t seed,
+                                          bool merge_across_gaps = false);
+
 /// \brief SSE (Def. 5) between a sequential relation `s` and a
 /// piecewise-constant approximation `z` of it.
 ///

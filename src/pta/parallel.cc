@@ -1,0 +1,357 @@
+#include "pta/parallel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pta/error.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace pta {
+
+namespace {
+
+// Per-shard Êmax weights for the budget allocator, computed on the pool.
+// Deterministic: shard s samples with seed base_seed + s regardless of
+// which thread runs it.
+Result<std::vector<double>> EstimateShardErrors(
+    const ShardedSegmentSource& shards, const ParallelReduceOptions& options,
+    ThreadPool& pool) {
+  const size_t num_shards = shards.num_shards();
+  std::vector<double> emax(num_shards, 0.0);
+  std::vector<Status> statuses(num_shards, Status::Ok());
+  pool.ParallelFor(num_shards, [&](size_t s) {
+    const SequentialRelation& shard = shards.shard(s);
+    if (shard.empty()) return;
+    auto est = EstimateMaxErrorBySampling(
+        shard, options.greedy.weights, options.budget_sample_fraction,
+        options.budget_sample_seed + s, options.greedy.merge_across_gaps);
+    if (est.ok()) {
+      emax[s] = *est;
+    } else {
+      statuses[s] = est.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return emax;
+}
+
+// Concatenates the per-shard reductions back into one sequential relation
+// in global (dense group id) order. Each group lives in exactly one shard
+// and each shard's output is group-sorted, so a cursor per shard suffices.
+SequentialRelation GatherShards(const ShardedSegmentSource& shards,
+                                const std::vector<Reduction>& results) {
+  SequentialRelation out(shards.num_aggregates());
+  size_t total = 0;
+  for (const Reduction& r : results) total += r.relation.size();
+  out.Reserve(total);
+
+  std::vector<size_t> cursor(results.size(), 0);
+  const std::vector<uint32_t>& shard_of = shards.shard_of();
+  for (size_t g = 0; g < shards.num_groups(); ++g) {
+    const size_t s = shard_of[g];
+    const SequentialRelation& rel = results[s].relation;
+    size_t& pos = cursor[s];
+    while (pos < rel.size() &&
+           rel.group(pos) == static_cast<int32_t>(g)) {
+      out.Append(rel.group(pos), rel.interval(pos), rel.values(pos));
+      ++pos;
+    }
+  }
+  return out;
+}
+
+void InitStats(const ShardedSegmentSource& shards, const ThreadPool& pool,
+               ParallelStats* stats) {
+  if (stats == nullptr) return;
+  *stats = ParallelStats{};
+  stats->num_shards = shards.num_shards();
+  stats->threads_used = pool.num_threads();
+  stats->total_segments = shards.total_size();
+  stats->shard_sizes.resize(shards.num_shards());
+  for (size_t s = 0; s < shards.num_shards(); ++s) {
+    stats->shard_sizes[s] = shards.shard(s).size();
+  }
+}
+
+// Checked up front (not just when the estimation pass runs) so the error
+// contract does not depend on the shard count or budget.
+Status ValidateSampleFraction(const ParallelReduceOptions& options) {
+  if (options.budget_sample_fraction <= 0.0 ||
+      options.budget_sample_fraction > 1.0) {
+    return Status::InvalidArgument("budget_sample_fraction must be in (0, 1]");
+  }
+  return Status::Ok();
+}
+
+size_t PoolThreads(const ShardedSegmentSource& shards,
+                   const ParallelReduceOptions& options) {
+  const size_t requested = options.num_threads == 0
+                               ? ThreadPool::DefaultThreadCount()
+                               : options.num_threads;
+  // More threads than shards would only idle.
+  return std::max<size_t>(1, std::min(requested, shards.num_shards()));
+}
+
+}  // namespace
+
+Result<std::vector<size_t>> AllocateSizeBudgets(
+    const std::vector<size_t>& shard_sizes,
+    const std::vector<size_t>& shard_cmins,
+    const std::vector<double>& shard_errors, size_t c) {
+  const size_t num_shards = shard_sizes.size();
+  if (shard_cmins.size() != num_shards || shard_errors.size() != num_shards) {
+    return Status::InvalidArgument(
+        "shard_sizes, shard_cmins and shard_errors must have equal size");
+  }
+  size_t sum_cmin = 0;
+  size_t total_size = 0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (shard_cmins[s] > shard_sizes[s]) {
+      return Status::InvalidArgument("shard cmin exceeds shard size");
+    }
+    if (shard_errors[s] < 0.0) {
+      return Status::InvalidArgument("shard error weights must be >= 0");
+    }
+    sum_cmin += shard_cmins[s];
+    total_size += shard_sizes[s];
+  }
+  if (c < sum_cmin) {
+    return Status::InvalidArgument(
+        "size bound " + std::to_string(c) + " is below global cmin = " +
+        std::to_string(sum_cmin));
+  }
+  std::vector<size_t> budgets = shard_cmins;
+  if (c >= total_size) return std::vector<size_t>(shard_sizes);
+
+  // Remaining budget over the cmins, distributed proportionally to the
+  // error weights (headroom when all weights vanish), capped per shard.
+  size_t remaining = c - sum_cmin;
+  std::vector<size_t> headroom(num_shards);
+  double weight_sum = 0.0;
+  for (size_t s = 0; s < num_shards; ++s) {
+    headroom[s] = shard_sizes[s] - shard_cmins[s];
+    weight_sum += shard_errors[s];
+  }
+  std::vector<double> weights(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    weights[s] = weight_sum > 0.0 ? shard_errors[s]
+                                  : static_cast<double>(headroom[s]);
+  }
+
+  // Iteratively fix shards whose proportional share exceeds their headroom;
+  // the leftover re-flows to the others. Terminates in <= num_shards rounds.
+  std::vector<bool> capped(num_shards, false);
+  std::vector<size_t> extra(num_shards, 0);
+  bool changed = true;
+  while (changed && remaining > 0) {
+    changed = false;
+    double active_weight = 0.0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!capped[s]) active_weight += weights[s];
+    }
+    if (active_weight <= 0.0) break;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (capped[s]) continue;
+      const double share =
+          static_cast<double>(remaining) * weights[s] / active_weight;
+      if (share >= static_cast<double>(headroom[s] - extra[s])) {
+        // This shard saturates: give it all its headroom and retry.
+        remaining -= headroom[s] - extra[s];
+        extra[s] = headroom[s];
+        capped[s] = true;
+        changed = true;
+      }
+    }
+  }
+  if (remaining > 0) {
+    // Final proportional round over the uncapped shards: floor allocation,
+    // then largest remainders (ties toward the lower shard index). When the
+    // remaining weight sits entirely on capped shards, fall back to the
+    // uncapped shards' headroom so the budget is still fully assigned.
+    double active_weight = 0.0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (!capped[s]) active_weight += weights[s];
+    }
+    std::vector<double> final_weights(num_shards, 0.0);
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (capped[s]) continue;
+      final_weights[s] = active_weight > 0.0
+                             ? weights[s]
+                             : static_cast<double>(headroom[s] - extra[s]);
+    }
+    if (active_weight <= 0.0) {
+      active_weight = 0.0;
+      for (size_t s = 0; s < num_shards; ++s) active_weight += final_weights[s];
+    }
+    std::vector<std::pair<double, size_t>> remainders;
+    size_t assigned = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      if (capped[s] || active_weight <= 0.0) continue;
+      const double share =
+          static_cast<double>(remaining) * final_weights[s] / active_weight;
+      const size_t base = std::min(static_cast<size_t>(share),
+                                   headroom[s] - extra[s]);
+      extra[s] += base;
+      assigned += base;
+      remainders.push_back({share - static_cast<double>(base), s});
+    }
+    size_t leftover = remaining - assigned;
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    while (leftover > 0) {
+      bool placed = false;
+      for (const auto& [frac, s] : remainders) {
+        if (leftover == 0) break;
+        if (extra[s] < headroom[s]) {
+          ++extra[s];
+          --leftover;
+          placed = true;
+        }
+      }
+      if (!placed) break;  // all shards at cap; c >= total_size handled above
+    }
+  }
+  for (size_t s = 0; s < num_shards; ++s) budgets[s] += extra[s];
+  return budgets;
+}
+
+Result<Reduction> ParallelReduceToSize(const ShardedSegmentSource& shards,
+                                       size_t c,
+                                       const ParallelReduceOptions& options,
+                                       ParallelStats* stats) {
+  if (c == 0) {
+    return Status::InvalidArgument("size bound c must be positive");
+  }
+  PTA_RETURN_IF_ERROR(ValidateSampleFraction(options));
+  const size_t num_shards = shards.num_shards();
+  ThreadPool pool(PoolThreads(shards, options));
+  InitStats(shards, pool, stats);
+  Stopwatch watch;
+
+  // The error weights only matter when there is an actual split to make:
+  // with one shard (it gets the whole budget) or c at/above the input size
+  // (nothing merges) the allocator never consults them, so skip the
+  // estimation pass and its full MaxError computation.
+  Result<std::vector<double>> emax = std::vector<double>(num_shards, 0.0);
+  if (num_shards > 1 && c < shards.total_size()) {
+    emax = EstimateShardErrors(shards, options, pool);
+    if (!emax.ok()) return emax.status();
+  }
+  std::vector<size_t> sizes(num_shards), cmins(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    sizes[s] = shards.shard(s).size();
+    cmins[s] = shards.shard(s).CMin();
+  }
+  auto budgets = AllocateSizeBudgets(sizes, cmins, *emax, c);
+  if (!budgets.ok()) return budgets.status();
+  if (stats != nullptr) {
+    stats->estimate_seconds = watch.ElapsedSeconds();
+    stats->shard_max_errors = *emax;
+    stats->shard_budgets = *budgets;
+  }
+
+  watch.Restart();
+  std::vector<Reduction> results(num_shards);
+  std::vector<Status> statuses(num_shards, Status::Ok());
+  std::vector<GreedyStats> gstats(num_shards);
+  pool.ParallelFor(num_shards, [&](size_t s) {
+    const SequentialRelation& shard = shards.shard(s);
+    results[s].relation = SequentialRelation(shards.num_aggregates());
+    if (shard.empty()) return;
+    RelationSegmentSource src(shard);
+    auto reduced =
+        GreedyReduceToSize(src, (*budgets)[s], options.greedy, &gstats[s]);
+    if (reduced.ok()) {
+      results[s] = std::move(*reduced);
+    } else {
+      statuses[s] = reduced.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  if (stats != nullptr) stats->reduce_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  Reduction out;
+  out.relation = GatherShards(shards, results);
+  for (size_t s = 0; s < num_shards; ++s) out.error += results[s].error;
+  if (stats != nullptr) {
+    stats->merge_seconds = watch.ElapsedSeconds();
+    stats->shard_greedy = std::move(gstats);
+    stats->shard_errors.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      stats->shard_errors[s] = results[s].error;
+    }
+  }
+  return out;
+}
+
+Result<Reduction> ParallelReduceToError(const ShardedSegmentSource& shards,
+                                        double eps,
+                                        const ParallelReduceOptions& options,
+                                        ParallelStats* stats) {
+  if (eps < 0.0 || eps > 1.0) {
+    return Status::InvalidArgument("error bound eps must be in [0, 1]");
+  }
+  PTA_RETURN_IF_ERROR(ValidateSampleFraction(options));
+  const size_t num_shards = shards.num_shards();
+  ThreadPool pool(PoolThreads(shards, options));
+  InitStats(shards, pool, stats);
+  Stopwatch watch;
+
+  auto emax = EstimateShardErrors(shards, options, pool);
+  if (!emax.ok()) return emax.status();
+  if (stats != nullptr) {
+    stats->estimate_seconds = watch.ElapsedSeconds();
+    stats->shard_max_errors = *emax;
+  }
+
+  watch.Restart();
+  std::vector<Reduction> results(num_shards);
+  std::vector<Status> statuses(num_shards, Status::Ok());
+  std::vector<GreedyStats> gstats(num_shards);
+  pool.ParallelFor(num_shards, [&](size_t s) {
+    const SequentialRelation& shard = shards.shard(s);
+    results[s].relation = SequentialRelation(shards.num_aggregates());
+    if (shard.empty()) return;
+    // The global absolute budget eps * Emax splits proportionally to the
+    // per-shard maximal errors, which is exactly "the global eps against
+    // each shard's own Êmax"; n̂_s is the shard size (known exactly here).
+    GreedyErrorEstimates estimates{(*emax)[s], shard.size()};
+    RelationSegmentSource src(shard);
+    auto reduced = GreedyReduceToError(src, eps, estimates, options.greedy,
+                                       &gstats[s]);
+    if (reduced.ok()) {
+      results[s] = std::move(*reduced);
+    } else {
+      statuses[s] = reduced.status();
+    }
+  });
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  if (stats != nullptr) stats->reduce_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  Reduction out;
+  out.relation = GatherShards(shards, results);
+  for (size_t s = 0; s < num_shards; ++s) out.error += results[s].error;
+  if (stats != nullptr) {
+    stats->merge_seconds = watch.ElapsedSeconds();
+    stats->shard_greedy = std::move(gstats);
+    stats->shard_errors.resize(num_shards);
+    for (size_t s = 0; s < num_shards; ++s) {
+      stats->shard_errors[s] = results[s].error;
+    }
+  }
+  return out;
+}
+
+}  // namespace pta

@@ -1,6 +1,7 @@
 #include "pta/pta.h"
 
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace pta {
 
@@ -124,6 +125,80 @@ Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
   if (!reduced.ok()) return reduced.status();
   PtaResult out;
   out.ita_size = source.count();
+  out.error = reduced->error;
+  out.relation = std::move(reduced->relation);
+  out.relation.SetGroupKeys((*stream)->group_keys());
+  out.relation.SetValueNames((*stream)->value_names());
+  return out;
+}
+
+namespace {
+
+// Shared front half of the parallel wrappers: evaluate ITA as a stream and
+// scatter it into per-shard sequential relations by stable group hash.
+Result<ShardedSegmentSource> ShardIta(ItaStream& stream, const ItaSpec& spec,
+                                      const ParallelOptions& parallel) {
+  size_t num_shards = parallel.num_shards;
+  if (num_shards == 0) {
+    num_shards = parallel.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                           : parallel.num_threads;
+  }
+  auto shard_map = GroupShardMap(stream.group_keys(), spec.group_by,
+                                 parallel.shard_by, num_shards);
+  if (!shard_map.ok()) return shard_map.status();
+  return ShardedSegmentSource::Partition(stream, num_shards, *shard_map);
+}
+
+ParallelReduceOptions ToReduceOptions(const ParallelOptions& parallel,
+                                      const GreedyPtaOptions& options) {
+  ParallelReduceOptions reduce;
+  reduce.num_threads = parallel.num_threads;
+  reduce.greedy =
+      GreedyOptions{options.weights, options.delta, options.merge_across_gaps};
+  reduce.budget_sample_fraction = parallel.budget_sample_fraction;
+  reduce.budget_sample_seed = parallel.budget_sample_seed;
+  return reduce;
+}
+
+}  // namespace
+
+Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
+                                          const ItaSpec& spec, size_t c,
+                                          const ParallelOptions& parallel,
+                                          const GreedyPtaOptions& options,
+                                          ParallelStats* stats) {
+  auto stream = ItaStream::Create(rel, spec);
+  if (!stream.ok()) return stream.status();
+  auto shards = ShardIta(**stream, spec, parallel);
+  if (!shards.ok()) return shards.status();
+  auto reduced =
+      ParallelReduceToSize(*shards, c, ToReduceOptions(parallel, options),
+                           stats);
+  if (!reduced.ok()) return reduced.status();
+  PtaResult out;
+  out.ita_size = shards->total_size();
+  out.error = reduced->error;
+  out.relation = std::move(reduced->relation);
+  out.relation.SetGroupKeys((*stream)->group_keys());
+  out.relation.SetValueNames((*stream)->value_names());
+  return out;
+}
+
+Result<PtaResult> ParallelGreedyPtaByError(const TemporalRelation& rel,
+                                           const ItaSpec& spec, double eps,
+                                           const ParallelOptions& parallel,
+                                           const GreedyPtaOptions& options,
+                                           ParallelStats* stats) {
+  auto stream = ItaStream::Create(rel, spec);
+  if (!stream.ok()) return stream.status();
+  auto shards = ShardIta(**stream, spec, parallel);
+  if (!shards.ok()) return shards.status();
+  auto reduced =
+      ParallelReduceToError(*shards, eps, ToReduceOptions(parallel, options),
+                            stats);
+  if (!reduced.ok()) return reduced.status();
+  PtaResult out;
+  out.ita_size = shards->total_size();
   out.error = reduced->error;
   out.relation = std::move(reduced->relation);
   out.relation.SetGroupKeys((*stream)->group_keys());

@@ -17,10 +17,13 @@
 #define PTA_PTA_PTA_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "core/ita.h"
 #include "pta/dp.h"
 #include "pta/greedy.h"
+#include "pta/parallel.h"
 #include "util/status.h"
 
 namespace pta {
@@ -46,7 +49,9 @@ struct GreedyPtaOptions {
   /// Future-work extension (Sec. 8): merge across temporal gaps.
   bool merge_across_gaps = false;
 
-  // --- gPTAε estimation knobs (ignored by GreedyPtaBySize) ---
+  // --- gPTAε estimation knobs (ignored by GreedyPtaBySize and by the
+  // Parallel* variants, which estimate per shard instead — see
+  // ParallelOptions::budget_sample_fraction) ---
   /// Êmax override; negative means "estimate by sampling the input".
   double estimated_max_error = -1.0;
   /// n̂ override; 0 means the paper's bound 2|r| - 1.
@@ -91,6 +96,52 @@ Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
                                    const ItaSpec& spec, double eps,
                                    const GreedyPtaOptions& options = {},
                                    GreedyStats* stats = nullptr);
+
+/// \brief Options for the parallel, group-sharded greedy variants.
+///
+/// The ITA result is partitioned by a stable hash of the grouping values,
+/// each shard is reduced independently on a thread pool, and the per-shard
+/// results are merged back in global group order (docs/ARCHITECTURE.md §4).
+/// For a fixed num_shards the output is a pure function of the input —
+/// num_threads only changes the wall clock — and with num_shards = 1,
+/// ParallelGreedyPtaBySize is byte-identical to GreedyPtaBySize. (The
+/// ByError variant estimates Êmax per shard from the materialized ITA
+/// segments, not from the base relation like GreedyPtaByError, so its
+/// one-shard output matches that policy, not GreedyPtaByError's.)
+struct ParallelOptions {
+  /// Worker threads; 0 means all hardware threads.
+  size_t num_threads = 0;
+  /// Shard count; 0 derives it from the resolved thread count — in which
+  /// case the output DOES vary with num_threads / the host's hardware
+  /// concurrency. Pin this for reproducible results across machines. More
+  /// shards than threads improves load balance at slightly coarser budget
+  /// splits; the result is deterministic for any fixed value.
+  size_t num_shards = 0;
+  /// Grouping attributes hashed to pick a shard. Empty means all of the
+  /// query's group_by attributes (finest sharding). Must be a subset of
+  /// group_by; groups agreeing on these attributes stay on one shard.
+  std::vector<std::string> shard_by;
+  /// Fraction of each shard's segments sampled for its Êmax budget weight;
+  /// 1.0 computes the exact per-shard maximal error.
+  double budget_sample_fraction = 1.0;
+  /// Base seed of the deterministic budget sampler.
+  uint64_t budget_sample_seed = 42;
+};
+
+/// Size-bounded PTA, greedy, group-sharded and multi-threaded: gPTAc per
+/// shard under a budget split proportional to per-shard estimated error.
+Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
+                                          const ItaSpec& spec, size_t c,
+                                          const ParallelOptions& parallel = {},
+                                          const GreedyPtaOptions& options = {},
+                                          ParallelStats* stats = nullptr);
+
+/// Error-bounded PTA, greedy, group-sharded and multi-threaded: gPTAε per
+/// shard, each against its own (estimated) maximal error.
+Result<PtaResult> ParallelGreedyPtaByError(
+    const TemporalRelation& rel, const ItaSpec& spec, double eps,
+    const ParallelOptions& parallel = {}, const GreedyPtaOptions& options = {},
+    ParallelStats* stats = nullptr);
 
 }  // namespace pta
 

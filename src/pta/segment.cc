@@ -126,6 +126,52 @@ std::string SequentialRelation::ToString() const {
   return out;
 }
 
+Result<ShardedSegmentSource> ShardedSegmentSource::Partition(
+    SegmentSource& source, size_t num_shards,
+    const std::vector<uint32_t>& shard_of) {
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  for (uint32_t s : shard_of) {
+    if (s >= num_shards) {
+      return Status::InvalidArgument("shard map entry " + std::to_string(s) +
+                                     " >= num_shards = " +
+                                     std::to_string(num_shards));
+    }
+  }
+  ShardedSegmentSource out;
+  out.p_ = source.num_aggregates();
+  out.shard_of_ = shard_of;
+  out.shards_.assign(num_shards, SequentialRelation(out.p_));
+
+  Segment seg;
+  while (source.Next(&seg)) {
+    if (seg.group < 0 ||
+        static_cast<size_t>(seg.group) >= shard_of.size()) {
+      return Status::OutOfRange("group id " + std::to_string(seg.group) +
+                                " has no shard map entry");
+    }
+    SequentialRelation& shard = out.shards_[shard_of[seg.group]];
+    if (!shard.empty()) {
+      const size_t last = shard.size() - 1;
+      const bool ordered =
+          shard.group(last) < seg.group ||
+          (shard.group(last) == seg.group &&
+           shard.interval(last).end < seg.t.begin);
+      if (!ordered) {
+        return Status::FailedPrecondition(
+            "source is not in group-then-time order at segment " +
+            std::to_string(out.total_size_));
+      }
+    }
+    shard.Append(seg);
+    const size_t group_count = static_cast<size_t>(seg.group) + 1;
+    if (group_count > out.num_groups_) out.num_groups_ = group_count;
+    ++out.total_size_;
+  }
+  return out;
+}
+
 bool RelationSegmentSource::Next(Segment* out) {
   if (pos_ >= rel_->size()) return false;
   out->group = rel_->group(pos_);

@@ -138,6 +138,46 @@ class RelationSegmentSource : public SegmentSource {
   size_t pos_ = 0;
 };
 
+/// \brief A SegmentSource split into per-shard sequential relations.
+///
+/// Partition() drains the source once, routing each segment to
+/// `shard_of[group]`. Because every group maps to exactly one shard and the
+/// source emits segments in group-then-time order, each shard buffer is
+/// itself a valid SequentialRelation (a group-subsequence of the stream) and
+/// can be reduced independently — the scatter step of the parallel PTA
+/// engine. Partitioning is single-threaded and deterministic: it depends
+/// only on the segment sequence and the shard map.
+class ShardedSegmentSource {
+ public:
+  /// An empty partition (0 shards); Result<T> needs this. Use Partition().
+  ShardedSegmentSource() = default;
+
+  /// Drains `source` into `num_shards` shard relations. `shard_of[g]` gives
+  /// the shard of dense group id g and must be < num_shards; a group id at
+  /// or beyond shard_of.size() is an error, as is a segment sequence whose
+  /// per-shard projection violates sequential order.
+  static Result<ShardedSegmentSource> Partition(
+      SegmentSource& source, size_t num_shards,
+      const std::vector<uint32_t>& shard_of);
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t num_aggregates() const { return p_; }
+  /// Total number of segments drained from the source.
+  size_t total_size() const { return total_size_; }
+  /// Largest dense group id seen plus one (0 for an empty source).
+  size_t num_groups() const { return num_groups_; }
+  const SequentialRelation& shard(size_t s) const { return shards_[s]; }
+  /// The group-id-to-shard map the partition was built with.
+  const std::vector<uint32_t>& shard_of() const { return shard_of_; }
+
+ private:
+  size_t p_ = 0;
+  size_t total_size_ = 0;
+  size_t num_groups_ = 0;
+  std::vector<SequentialRelation> shards_;
+  std::vector<uint32_t> shard_of_;
+};
+
 /// Builds a single-group sequential relation from one or more equally long
 /// time series: point i becomes a segment with timestamp [i, i] and one value
 /// per series. This is how the UCR-style time series enter the PTA pipeline

@@ -1,0 +1,77 @@
+#include "util/thread_pool.h"
+
+#include "util/check.h"
+
+namespace pta {
+
+size_t ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(num_threads == 0 ? DefaultThreadCount() : num_threads) {
+  // A single-thread pool still spawns its worker so Submit/Wait behave
+  // uniformly; only ParallelFor takes the inline shortcut.
+  workers_.reserve(num_threads_);
+  for (size_t i = 0; i < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PTA_CHECK_MSG(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    PTA_CHECK_MSG(!stop_, "Submit after pool shutdown");
+    queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    Submit([&fn, i] { fn(i); });
+  }
+  Wait();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--outstanding_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace pta

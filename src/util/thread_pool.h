@@ -1,0 +1,69 @@
+// A fixed-size worker pool for the parallel PTA engine.
+//
+// Tasks are plain std::function<void()>; Submit enqueues, Wait blocks until
+// every submitted task has finished. ParallelFor covers the common
+// one-task-per-index fan-out and runs inline when the pool has a single
+// thread, so single-threaded execution stays free of scheduling overhead
+// (and trivially deterministic).
+
+#ifndef PTA_UTIL_THREAD_POOL_H_
+#define PTA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pta {
+
+/// \brief Fixed set of worker threads draining a FIFO task queue.
+///
+/// The pool is created with its final thread count and joins all workers on
+/// destruction. There is deliberately no future/return-value plumbing: the
+/// parallel engine writes results into caller-owned per-shard slots, which
+/// keeps the synchronization surface to the queue mutex alone.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means DefaultThreadCount(). A pool of
+  /// one thread runs ParallelFor bodies inline on the calling thread.
+  explicit ThreadPool(size_t num_threads = 0);
+  /// Waits for pending tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  /// Enqueues one task. Must not be called concurrently with destruction.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has completed.
+  void Wait();
+
+  /// Runs fn(0) ... fn(n-1), returning when all calls completed. With one
+  /// thread (or n <= 1) the calls happen inline, in index order.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// std::thread::hardware_concurrency(), at least 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  void WorkerLoop();
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // signalled on Submit / stop
+  std::condition_variable all_done_;     // signalled when outstanding_ hits 0
+  std::deque<std::function<void()>> queue_;
+  size_t outstanding_ = 0;  // queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace pta
+
+#endif  // PTA_UTIL_THREAD_POOL_H_

@@ -1,0 +1,85 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace pta {
+namespace {
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), ThreadPool::DefaultThreadCount());
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPoolTest, WaitOnIdlePoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted; must not hang
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    constexpr size_t kN = 257;
+    std::vector<std::atomic<int>> hits(kN);
+    for (auto& h : hits) h.store(0);
+    pool.ParallelFor(kN, [&hits](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForWithZeroItemsIsANoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, SingleThreadParallelForRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<size_t> order;
+  // No synchronization needed: one thread runs the bodies inline.
+  pool.ParallelFor(16, [&order](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No Wait: the destructor must still let queued tasks finish.
+  }
+  EXPECT_EQ(counter.load(), 32);
+}
+
+}  // namespace
+}  // namespace pta
