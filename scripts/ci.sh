@@ -1,18 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verify: docs link check, configure, build, run the ctest suite.
 #
-# Usage: scripts/ci.sh [--asan | --tsan]
-#   --asan   build in a separate tree (build-asan/) with
-#            -fsanitize=address,undefined and run the full suite under it
-#   --tsan   build in a separate tree (build-tsan/) with -fsanitize=thread
-#            and run the concurrency-sensitive subset
-#            (ctest -L 'integration|parallel')
+# Usage: scripts/ci.sh [--asan | --tsan | --quick-bench]
+#   --asan        build in a separate tree (build-asan/) with
+#                 -fsanitize=address,undefined and run the full suite under it
+#   --tsan        build in a separate tree (build-tsan/) with -fsanitize=thread
+#                 and run the concurrency-sensitive subset
+#                 (ctest -L 'integration|parallel|stream')
+#   --quick-bench smoke-run the benchmark sweep instead of ctest: build,
+#                 run bench/run_all --quick, and validate that every emitted
+#                 record parses as JSON (run_all itself exits non-zero when
+#                 any bench fails, so this also gates the bench invariants)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 build_dir=build
 cmake_args=()
 ctest_args=()
+mode=test
 if [[ "${1:-}" == "--asan" ]]; then
   build_dir=build-asan
   cmake_args+=(-DPTA_SANITIZE=ON)
@@ -20,11 +25,14 @@ if [[ "${1:-}" == "--asan" ]]; then
 elif [[ "${1:-}" == "--tsan" ]]; then
   build_dir=build-tsan
   cmake_args+=(-DPTA_SANITIZE_THREAD=ON)
-  ctest_args+=(-L 'integration|parallel')
+  ctest_args+=(-L 'integration|parallel|stream')
+  shift
+elif [[ "${1:-}" == "--quick-bench" ]]; then
+  mode=quick-bench
   shift
 fi
 if [[ $# -gt 0 ]]; then
-  echo "usage: $0 [--asan | --tsan]" >&2
+  echo "usage: $0 [--asan | --tsan | --quick-bench]" >&2
   exit 2
 fi
 
@@ -32,4 +40,24 @@ scripts/check_doc_links.sh
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j
-cd "$build_dir" && ctest --output-on-failure "${ctest_args[@]}" -j
+
+if [[ "$mode" == "quick-bench" ]]; then
+  out=$("$build_dir"/bench/run_all --quick)
+  echo "$out"
+  # Every stdout line must be one well-formed JSON record.
+  echo "$out" | python3 -c '
+import json, sys
+records = 0
+for line in sys.stdin:
+    line = line.strip()
+    if not line:
+        continue
+    json.loads(line)  # raises (and fails the step) on malformed output
+    records += 1
+if records == 0:
+    raise SystemExit("run_all emitted no JSON records")
+print(f"quick-bench: {records} JSON records, all parse")
+'
+else
+  cd "$build_dir" && ctest --output-on-failure "${ctest_args[@]}" -j
+fi

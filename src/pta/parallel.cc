@@ -102,6 +102,9 @@ Result<std::vector<size_t>> AllocateSizeBudgets(
     const std::vector<size_t>& shard_cmins,
     const std::vector<double>& shard_errors, size_t c) {
   const size_t num_shards = shard_sizes.size();
+  if (num_shards == 0) {
+    return Status::InvalidArgument("at least one shard is required");
+  }
   if (shard_cmins.size() != num_shards || shard_errors.size() != num_shards) {
     return Status::InvalidArgument(
         "shard_sizes, shard_cmins and shard_errors must have equal size");

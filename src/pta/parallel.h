@@ -30,6 +30,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pta/greedy.h"
@@ -37,6 +38,41 @@
 #include "util/status.h"
 
 namespace pta {
+
+/// \brief Options for the parallel, group-sharded greedy PTA variants
+/// (ParallelGreedyPtaBySize/-ByError in pta.h) and for the streaming
+/// composition (stream/sharded_stream.h).
+///
+/// The ITA result is partitioned by a stable hash of the grouping values,
+/// each shard is reduced independently on a thread pool, and the per-shard
+/// results are merged back in global group order (docs/ARCHITECTURE.md §4).
+/// For a fixed num_shards the output is a pure function of the input —
+/// num_threads only changes the wall clock — and with num_shards = 1,
+/// ParallelGreedyPtaBySize is byte-identical to GreedyPtaBySize. (The
+/// ByError variant estimates Êmax per shard from the materialized ITA
+/// segments, not from the base relation like GreedyPtaByError, so its
+/// one-shard output matches that policy, not GreedyPtaByError's.)
+struct ParallelOptions {
+  /// Worker threads; 0 means all hardware threads.
+  size_t num_threads = 0;
+  /// Shard count; 0 derives it from the resolved thread count — in which
+  /// case the output DOES vary with num_threads / the host's hardware
+  /// concurrency. Pin this for reproducible results across machines. More
+  /// shards than threads improves load balance at slightly coarser budget
+  /// splits; the result is deterministic for any fixed value.
+  size_t num_shards = 0;
+  /// Grouping attributes hashed to pick a shard. Empty means all of the
+  /// query's group_by attributes (finest sharding). Must be a subset of
+  /// group_by; groups agreeing on these attributes stay on one shard.
+  /// (Ignored by the streaming composition, which shards by dense group
+  /// id — see stream/sharded_stream.h.)
+  std::vector<std::string> shard_by;
+  /// Fraction of each shard's segments sampled for its Êmax budget weight;
+  /// 1.0 computes the exact per-shard maximal error.
+  double budget_sample_fraction = 1.0;
+  /// Base seed of the deterministic budget sampler.
+  uint64_t budget_sample_seed = 42;
+};
 
 /// \brief Execution knobs of the sharded engine.
 struct ParallelReduceOptions {

@@ -1,0 +1,265 @@
+// The online (streaming) PTA engine: bounded-memory greedy reduction over
+// an unbounded, chunked segment feed.
+//
+// The paper's gPTAc (Sec. 6.2) already merges while ITA tuples are being
+// produced, but its driver is batch-shaped: one SegmentSource, drained to
+// exhaustion, one result. StreamingPtaEngine turns the same greedy core
+// into a long-lived service primitive:
+//
+//   * segments arrive chunk by chunk (IngestChunk / Ingest), interleaved
+//     across groups — each group keeps its own chronological merge chain,
+//     so a live feed does not have to be group-major like a materialized
+//     SequentialRelation;
+//   * merge candidates are ordered by the paper's Δ-cost (dsim, Prop. 2)
+//     in a lazy-invalidation min-heap: stale entries are discarded on pop
+//     instead of being re-sifted eagerly like pta/merge_heap.* does, which
+//     keeps per-ingest work O(log live) without intrusive heap positions;
+//   * a watermark (AdvanceWatermark) finalizes rows that can no longer
+//     meet any future arrival and moves them to an emission buffer the
+//     caller drains with TakeEmitted — this is what bounds memory on an
+//     unbounded stream;
+//   * Snapshot() renders the current summary (pending emissions + live
+//     rows) at any time without disturbing the engine, and Finalize()
+//     performs the terminal GMS drain down to the size budget.
+//
+// Equivalence contract: if the watermark is never advanced and segments
+// arrive in group-then-time order (any chunking), Finalize() is
+// byte-identical to batch GreedyReduceToSize on the concatenated input —
+// same merge schedule, same tie-breaks, same floating-point operation
+// order. Once the watermark is in use the engine instead behaves as a
+// sliding-window GMS: budget pressure merges the globally cheapest live
+// pair without waiting for the Prop. 3 / δ confirmations (a pair's dsim
+// never changes with future arrivals, so this is what GMS over the
+// resident window would do), which pins live memory at size_budget + 1
+// between gaps. The result then deviates from batch gPTAc by a bounded
+// amount; docs/STREAMING.md quantifies the trade.
+
+#ifndef PTA_STREAM_STREAM_H_
+#define PTA_STREAM_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "core/interval.h"
+#include "pta/error.h"
+#include "pta/greedy.h"
+#include "pta/segment.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief Configuration of one streaming engine.
+struct StreamingOptions {
+  /// Size budget c: the engine merges (under the gPTAc safety conditions)
+  /// whenever more than this many *live* rows exist. Must be positive.
+  size_t size_budget = 1024;
+  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
+  std::vector<double> weights;
+  /// Read-ahead depth δ (Sec. 6.2.1); see GreedyOptions::delta. Gates
+  /// ingest-time merges only while the watermark is disabled (the
+  /// byte-identical mode); afterwards budget pressure merges eagerly.
+  size_t delta = 1;
+  /// Future-work extension (Sec. 8): merge same-group rows across gaps.
+  bool merge_across_gaps = false;
+  /// When >= 0, IngestChunk auto-advances the watermark to
+  /// (max segment begin seen) - auto_watermark_lag after every chunk, so
+  /// callers get emission without managing watermarks by hand. The lag must
+  /// cover the cross-group skew of the feed. Negative disables (manual
+  /// AdvanceWatermark only — the byte-identical-to-batch mode).
+  int64_t auto_watermark_lag = -1;
+};
+
+/// \brief Observability counters of one streaming engine.
+struct StreamingStats {
+  /// Segments accepted by Ingest/IngestChunk.
+  size_t ingested = 0;
+  /// Total merges performed (ingest-time + Finalize drain).
+  size_t merges = 0;
+  /// Merges performed while ingestion was still open (the gPTAc "early"
+  /// merges; Finalize's terminal drain is not counted here).
+  size_t early_merges = 0;
+  /// Rows finalized by the watermark and handed to the emission buffer.
+  size_t emitted = 0;
+  /// Peak number of live rows (the c + β of Sec. 6.2, Fig. 20).
+  size_t max_live_rows = 0;
+  /// Cumulative SSE (Def. 5) introduced by all merges so far.
+  double merge_sse = 0.0;
+};
+
+/// \brief Online, bounded-memory greedy PTA over a chunked segment feed.
+///
+/// Not thread-safe: one engine is a single-writer object. For parallel
+/// ingestion across many groups, use ShardedStreamingEngine
+/// (stream/sharded_stream.h), which runs one engine per group shard.
+class StreamingPtaEngine {
+ public:
+  /// Creates an engine for segments with `num_aggregates` values. Aborts
+  /// (programmer error) on a zero size budget or mismatched weight arity.
+  StreamingPtaEngine(size_t num_aggregates, StreamingOptions options);
+
+  size_t num_aggregates() const { return p_; }
+  const StreamingOptions& options() const { return options_; }
+
+  /// Ingests one segment. Within a group, segments must arrive
+  /// chronologically with disjoint intervals; groups may interleave
+  /// freely. Segments must not begin before the current watermark.
+  /// Fails with FailedPrecondition on ordering violations, after which the
+  /// engine state is unchanged (the offending segment is dropped).
+  Status Ingest(const Segment& seg);
+
+  /// Ingests every segment of `chunk` in order, then applies the
+  /// auto-watermark policy if configured. The chunk's arity must match.
+  /// Not atomic: on failure the rows before the offending one stay
+  /// ingested (the error message names the failing row's group), so
+  /// resubmit only the corrected remainder, not the whole chunk.
+  Status IngestChunk(const SequentialRelation& chunk);
+
+  /// Declares that no future segment will begin before `watermark`. Every
+  /// live row that can no longer meet a future arrival (row end + 1 <
+  /// watermark; with merge_across_gaps, group tails are additionally kept
+  /// live) is sealed and moved to the emission buffer. Monotone: a
+  /// watermark below the current one fails with InvalidArgument.
+  Status AdvanceWatermark(Chronon watermark);
+
+  /// The current watermark (minimum begin of any future segment).
+  /// kNoWatermark until the first advance.
+  Chronon watermark() const { return watermark_; }
+  static constexpr Chronon kNoWatermark =
+      std::numeric_limits<Chronon>::min();
+
+  /// Drains the emission buffer: all sealed rows not yet taken, as a valid
+  /// sequential relation (group id order, chronological within groups).
+  /// Groups with no remaining state are released, so long-running feeds
+  /// with churning group populations stay bounded.
+  SequentialRelation TakeEmitted();
+
+  /// The current summary without disturbing the engine: sealed-but-untaken
+  /// rows followed by the live rows of every group, in group id order.
+  SequentialRelation Snapshot() const;
+
+  /// Terminal GMS drain (Fig. 11 lines 15-18): merges live rows down to
+  /// the size budget while mergeable pairs remain, then returns pending
+  /// emissions + the reduced live rows. Unlike batch GreedyReduceToSize,
+  /// an infeasible budget (c below the live cmin) does not fail — the
+  /// drain stops at the cmin. Fails with FailedPrecondition on a second
+  /// call or on ingestion after finalization.
+  Result<SequentialRelation> Finalize();
+
+  /// Live (unsealed, unfinalized) rows currently held.
+  size_t live_rows() const { return live_; }
+  /// Rows sealed but not yet taken by TakeEmitted().
+  size_t pending_rows() const { return pending_; }
+  /// Cumulative SSE introduced by merging, equal (up to floating-point
+  /// accumulation) to StepFunctionSse(input, emitted + live output).
+  double total_error() const { return stats_.merge_sse; }
+  const StreamingStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    int64_t id = 0;  // global insertion sequence, the merge tie-breaker
+    int32_t group = 0;
+    Interval t;
+    int64_t covered = 0;  // chronons actually covered (gap merging)
+    int32_t prev = -1;    // within the group chain
+    int32_t next = -1;
+    uint32_t version = 0;  // bumped whenever key/values change or node dies
+    double key = kInfiniteError;  // dsim with prev; infinity at chain heads
+    bool alive = false;
+  };
+
+  /// One lazily-invalidated candidate: valid iff the node is alive and its
+  /// version still matches. Ordered by (key, id) — the same deterministic
+  /// tie-break as pta/merge_heap.* (smallest timestamp merges first).
+  struct Candidate {
+    double key = kInfiniteError;
+    int64_t id = 0;
+    int32_t node = -1;
+    uint32_t version = 0;
+    bool operator>(const Candidate& other) const {
+      if (key != other.key) return key > other.key;
+      return id > other.id;
+    }
+  };
+
+  struct Group {
+    int32_t head = -1;
+    int32_t tail = -1;
+    /// Sealed rows awaiting TakeEmitted, chronologically ordered; always a
+    /// prefix of the group's history before the live chain.
+    std::vector<Segment> pending;
+  };
+
+  double* ValuesOf(int32_t h) {
+    return values_.data() + static_cast<size_t>(h) * p_;
+  }
+  const double* ValuesOf(int32_t h) const {
+    return values_.data() + static_cast<size_t>(h) * p_;
+  }
+
+  /// True if b may fold into its chain predecessor a (same group by chain
+  /// construction; gap merging lifts the meets requirement).
+  bool Mergeable(const Node& a, const Node& b) const {
+    return options_.merge_across_gaps || a.t.MeetsBefore(b.t);
+  }
+
+  /// dsim of node b with its chain predecessor a; infinity if absent or
+  /// non-adjacent. Identical arithmetic to MergeHeap::KeyFor.
+  double KeyFor(int32_t a, int32_t b) const;
+
+  int32_t AllocNode();
+  void FreeNode(int32_t h);
+  /// Updates h's key and pushes a fresh candidate when it is finite.
+  void SetKey(int32_t h, double new_key);
+  /// Discards stale heap entries; returns the valid minimum candidate or
+  /// false when no finite-key pair exists.
+  bool PeekTop(Candidate* top);
+  /// Folds `top.node` into its chain predecessor (Def. 3) and re-keys the
+  /// two affected neighbours. Returns the introduced error.
+  double MergeCandidate(const Candidate& top, Group& group);
+  /// The gPTAc ingest-time merge loop (Prop. 3 + δ read-ahead).
+  void MergeWhileOverBudget();
+  /// True when `delta` adjacent successors follow `h` in its chain.
+  bool HasDeltaSuccessors(int32_t h) const;
+  /// Rebuilds the candidate heap from live keys when stale entries
+  /// dominate (keeps heap memory proportional to live rows).
+  void CompactHeapIfNeeded();
+  /// Seals every live prefix row of `group` that is settled under
+  /// watermark `w`.
+  void SealSettledPrefix(Group& group, Chronon w);
+
+  size_t p_;
+  StreamingOptions options_;
+  std::vector<double> weights_;
+
+  std::vector<Node> nodes_;
+  std::vector<double> values_;  // nodes_.size() * p_
+  std::vector<int32_t> free_;
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      heap_;
+  /// Group id -> chain + emission state, ordered so extraction is
+  /// deterministically group-major.
+  std::map<int32_t, Group> groups_;
+
+  // gPTAc Prop. 3 bookkeeping over global insertion order (greedy.cc).
+  int64_t last_gap_id_ = 0;
+  int64_t before_gap_ = 0;
+  int64_t after_gap_ = 0;
+
+  size_t live_ = 0;
+  size_t pending_ = 0;
+  Chronon watermark_ = kNoWatermark;
+  Chronon max_begin_seen_ = kNoWatermark;
+  int64_t next_id_ = 1;
+  bool finalized_ = false;
+  StreamingStats stats_;
+};
+
+}  // namespace pta
+
+#endif  // PTA_STREAM_STREAM_H_

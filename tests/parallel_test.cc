@@ -145,6 +145,66 @@ TEST(ShardedSegmentSourceTest, EmptySourceYieldsEmptyShards) {
   EXPECT_EQ(sharded->num_groups(), 0u);
 }
 
+TEST(ShardedSegmentSourceTest, ShardsWithoutAnyGroupStayEmptyButUsable) {
+  // Two groups, both mapped to shard 1 of 3: shards 0 and 2 must come out
+  // as empty-but-valid relations and reductions must tolerate them.
+  const SequentialRelation rel = RandomSequential(60, 2, 2, 0.0, 19);
+  RelationSegmentSource src(rel);
+  auto sharded = ShardedSegmentSource::Partition(src, 3, {1, 1});
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->num_shards(), 3u);
+  EXPECT_TRUE(sharded->shard(0).empty());
+  EXPECT_TRUE(sharded->shard(2).empty());
+  EXPECT_EQ(sharded->shard(1).size(), rel.size());
+  EXPECT_TRUE(sharded->shard(0).Validate().ok());
+  auto red = ParallelReduceToSize(*sharded, rel.CMin() + 10);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(red->relation.Validate().ok());
+}
+
+TEST(ShardedSegmentSourceTest, SingleGroupInputLandsOnOneShard) {
+  const SequentialRelation rel = RandomSequential(80, 1, 1, 0.05, 23);
+  RelationSegmentSource src(rel);
+  auto sharded = ShardedSegmentSource::Partition(src, 4, {2});
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->num_groups(), 1u);
+  EXPECT_EQ(sharded->shard(2).size(), rel.size());
+  for (size_t s : {0u, 1u, 3u}) EXPECT_TRUE(sharded->shard(s).empty());
+  // The lone shard carries the whole reduction: equivalent to unsharded.
+  auto par = ParallelReduceToSize(*sharded, rel.CMin() + 5);
+  RelationSegmentSource again(rel);
+  auto seq = GreedyReduceToSize(again, rel.CMin() + 5);
+  ASSERT_TRUE(par.ok() && seq.ok());
+  ExpectExactlyEqual(par->relation, seq->relation);
+}
+
+TEST(ShardedSegmentSourceTest, MoreShardsThanGroupsIsFine) {
+  // 16 shards over 3 groups: GroupShardMap may leave most shards empty;
+  // partitioning, budget allocation, and the reduction must all cope.
+  const SequentialRelation rel = RandomSequential(90, 2, 3, 0.1, 29);
+  auto map = GroupShardMap(rel.group_keys(),
+                           {"G0"}, {}, 16);
+  ASSERT_TRUE(map.ok());
+  RelationSegmentSource src(rel);
+  auto sharded = ShardedSegmentSource::Partition(src, 16, *map);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded->num_shards(), 16u);
+  EXPECT_EQ(sharded->total_size(), rel.size());
+  size_t non_empty = 0;
+  for (size_t s = 0; s < 16; ++s) {
+    if (!sharded->shard(s).empty()) ++non_empty;
+  }
+  EXPECT_LE(non_empty, 3u);
+  ParallelStats stats;
+  auto red = ParallelReduceToSize(*sharded, rel.CMin() + 12, {}, &stats);
+  ASSERT_TRUE(red.ok());
+  EXPECT_TRUE(red->relation.Validate().ok());
+  EXPECT_EQ(stats.num_shards, 16u);
+  size_t budget_sum = 0;
+  for (size_t b : stats.shard_budgets) budget_sum += b;
+  EXPECT_EQ(budget_sum, rel.CMin() + 12);
+}
+
 // --------------------------------------------------------- budget allocator
 
 TEST(AllocateSizeBudgetsTest, SplitsProportionallyToError) {
@@ -178,8 +238,9 @@ TEST(AllocateSizeBudgetsTest, BoundaryCases) {
   auto all = AllocateSizeBudgets({5, 5}, {2, 3}, {1.0, 1.0}, 12);
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(*all, (std::vector<size_t>{5, 5}));
-  // Mismatched arities and negative weights are rejected.
+  // Mismatched arities, zero shards, and negative weights are rejected.
   EXPECT_FALSE(AllocateSizeBudgets({5}, {1, 1}, {1.0, 1.0}, 4).ok());
+  EXPECT_FALSE(AllocateSizeBudgets({}, {}, {}, 4).ok());
   EXPECT_FALSE(AllocateSizeBudgets({5, 5}, {1, 1}, {-1.0, 1.0}, 4).ok());
   // cmin above size is inconsistent.
   EXPECT_FALSE(AllocateSizeBudgets({2, 5}, {3, 1}, {1.0, 1.0}, 6).ok());

@@ -1,0 +1,196 @@
+// The sharded streaming composition (stream/sharded_stream.h): single-shard
+// equivalence to a lone engine, determinism across thread counts and runs,
+// gather validity, explicit shard maps, and watermark fan-out. Registered
+// under the `stream` ctest label, which scripts/ci.sh --tsan runs under
+// ThreadSanitizer together with the batch parallel engine.
+
+#include "stream/sharded_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "test_util.h"
+
+namespace pta {
+namespace {
+
+using testing::RandomSequential;
+
+void ExpectExactlyEqual(const SequentialRelation& a,
+                        const SequentialRelation& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_aggregates(), b.num_aggregates());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.group(i), b.group(i)) << "segment " << i;
+    EXPECT_EQ(a.interval(i), b.interval(i)) << "segment " << i;
+    for (size_t d = 0; d < a.num_aggregates(); ++d) {
+      EXPECT_EQ(a.value(i, d), b.value(i, d))
+          << "segment " << i << " dim " << d;
+    }
+  }
+}
+
+SequentialRelation Slice(const SequentialRelation& rel, size_t from,
+                         size_t to) {
+  SequentialRelation out(rel.num_aggregates());
+  for (size_t i = from; i < to && i < rel.size(); ++i) {
+    out.Append(rel.group(i), rel.interval(i), rel.values(i));
+  }
+  return out;
+}
+
+Result<SequentialRelation> StreamSharded(const SequentialRelation& rel,
+                                         size_t chunk_rows,
+                                         const StreamingOptions& options,
+                                         const ParallelOptions& parallel) {
+  ShardedStreamingEngine engine(rel.num_aggregates(), options, parallel);
+  for (size_t from = 0; from < rel.size(); from += chunk_rows) {
+    const Status status =
+        engine.IngestChunk(Slice(rel, from, from + chunk_rows));
+    if (!status.ok()) return status;
+  }
+  return engine.Finalize();
+}
+
+TEST(ShardedStreamTest, SingleShardMatchesALoneEngine) {
+  const SequentialRelation rel = RandomSequential(300, 2, 6, 0.08, 17);
+  StreamingOptions options;
+  options.size_budget = rel.CMin() + 30;
+  ParallelOptions parallel;
+  parallel.num_shards = 1;
+  parallel.num_threads = 1;
+  auto sharded = StreamSharded(rel, 23, options, parallel);
+  ASSERT_TRUE(sharded.ok());
+
+  StreamingPtaEngine lone(rel.num_aggregates(), options);
+  for (size_t from = 0; from < rel.size(); from += 23) {
+    ASSERT_TRUE(lone.IngestChunk(Slice(rel, from, from + 23)).ok());
+  }
+  auto expected = lone.Finalize();
+  ASSERT_TRUE(expected.ok());
+  ExpectExactlyEqual(*sharded, *expected);
+}
+
+TEST(ShardedStreamTest, DeterministicAcrossThreadCountsAndRuns) {
+  const SequentialRelation rel = RandomSequential(900, 2, 24, 0.1, 41);
+  StreamingOptions options;
+  options.size_budget = 200;
+  ParallelOptions base;
+  base.num_shards = 8;
+  base.num_threads = 1;
+  auto reference = StreamSharded(rel, 64, options, base);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_TRUE(reference->Validate().ok());
+  for (size_t threads : {2u, 4u, 8u}) {
+    for (int run = 0; run < 2; ++run) {
+      ParallelOptions parallel;
+      parallel.num_shards = 8;
+      parallel.num_threads = threads;
+      auto out = StreamSharded(rel, 64, options, parallel);
+      ASSERT_TRUE(out.ok());
+      ExpectExactlyEqual(*out, *reference);
+    }
+  }
+}
+
+TEST(ShardedStreamTest, GatherRestoresGlobalGroupOrder) {
+  const SequentialRelation rel = RandomSequential(600, 3, 40, 0.05, 13);
+  StreamingOptions options;
+  options.size_budget = 160;
+  ParallelOptions parallel;
+  parallel.num_shards = 5;
+  parallel.num_threads = 2;
+  ShardedStreamingEngine engine(rel.num_aggregates(), options, parallel);
+  ASSERT_TRUE(engine.IngestChunk(rel).ok());
+  const SequentialRelation snap = engine.Snapshot();
+  EXPECT_TRUE(snap.Validate().ok());
+  auto out = engine.Finalize();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Validate().ok());
+  // Every input group survives (reduction never erases a group).
+  std::set<int32_t> in_groups, out_groups;
+  for (size_t i = 0; i < rel.size(); ++i) in_groups.insert(rel.group(i));
+  for (size_t i = 0; i < out->size(); ++i) out_groups.insert(out->group(i));
+  EXPECT_EQ(in_groups, out_groups);
+}
+
+TEST(ShardedStreamTest, ExplicitShardMapComposesWithGroupShardMap) {
+  const SequentialRelation rel = RandomSequential(200, 1, 8, 0.0, 3);
+  // Pin groups 0-3 to shard 0 and 4-7 to shard 1, GroupShardMap-style.
+  const std::vector<uint32_t> shard_of = {0, 0, 0, 0, 1, 1, 1, 1};
+  StreamingOptions options;
+  options.size_budget = 40;
+  ParallelOptions parallel;
+  parallel.num_shards = 2;
+  parallel.num_threads = 2;
+  ShardedStreamingEngine engine(rel.num_aggregates(), options, parallel,
+                                shard_of);
+  ASSERT_TRUE(engine.IngestChunk(rel).ok());
+  for (size_t s = 0; s < engine.num_shards(); ++s) {
+    const SequentialRelation shard_rows = engine.shard(s).Snapshot();
+    for (size_t i = 0; i < shard_rows.size(); ++i) {
+      EXPECT_EQ(shard_of[shard_rows.group(i)], s) << "row " << i;
+    }
+  }
+  auto out = engine.Finalize();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Validate().ok());
+}
+
+TEST(ShardedStreamTest, WatermarkFansOutAndEmissionsGather) {
+  StreamingOptions options;
+  options.size_budget = 64;
+  ParallelOptions parallel;
+  parallel.num_shards = 4;
+  parallel.num_threads = 2;
+  ShardedStreamingEngine engine(1, options, parallel);
+  SequentialRelation chunk(1);
+  const double v = 1.0;
+  for (int32_t g = 0; g < 16; ++g) {
+    for (Chronon t = 0; t < 4; ++t) {
+      chunk = SequentialRelation(1);
+      chunk.Append(g, Interval(10 * t, 10 * t + 1), &v);  // gappy rows
+      ASSERT_TRUE(engine.IngestChunk(chunk).ok());
+    }
+  }
+  ASSERT_TRUE(engine.AdvanceWatermark(1000).ok());
+  EXPECT_EQ(engine.live_rows(), 0u);
+  const SequentialRelation emitted = engine.TakeEmitted();
+  EXPECT_EQ(emitted.size(), 64u);  // 16 groups * 4 unmergeable rows
+  EXPECT_TRUE(emitted.Validate().ok());
+  EXPECT_EQ(engine.pending_rows(), 0u);
+}
+
+TEST(ShardedStreamTest, TinyGlobalBudgetStillGivesEveryShardOne) {
+  StreamingOptions options;
+  options.size_budget = 2;
+  ParallelOptions parallel;
+  parallel.num_shards = 4;
+  parallel.num_threads = 1;
+  ShardedStreamingEngine engine(1, options, parallel);
+  EXPECT_EQ(engine.num_shards(), 4u);
+  for (size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(engine.shard(s).options().size_budget, 1u);
+  }
+}
+
+TEST(ShardedStreamTest, IngestErrorsSurfaceDeterministically) {
+  StreamingOptions options;
+  options.size_budget = 8;
+  ParallelOptions parallel;
+  parallel.num_shards = 2;
+  parallel.num_threads = 2;
+  ShardedStreamingEngine engine(1, options, parallel);
+  SequentialRelation chunk(1);
+  const double v = 1.0;
+  chunk.Append(0, Interval(5, 9), &v);
+  ASSERT_TRUE(engine.IngestChunk(chunk).ok());
+  // The same interval again overlaps the group tail in its shard.
+  EXPECT_FALSE(engine.IngestChunk(chunk).ok());
+  // Arity mismatches are rejected before any scatter.
+  EXPECT_FALSE(engine.IngestChunk(SequentialRelation(2)).ok());
+}
+
+}  // namespace
+}  // namespace pta

@@ -1,0 +1,480 @@
+// The streaming engine (stream/stream.h): byte-identical equivalence with
+// batch gPTAc when the watermark is off, watermark sealing semantics,
+// bounded deviation when it is on, bounded live memory, and the
+// Ingest/Snapshot/Finalize state machine.
+
+#include "stream/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pta/greedy.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace pta {
+namespace {
+
+using testing::RandomSequential;
+
+void ExpectExactlyEqual(const SequentialRelation& a,
+                        const SequentialRelation& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_aggregates(), b.num_aggregates());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.group(i), b.group(i)) << "segment " << i;
+    EXPECT_EQ(a.interval(i), b.interval(i)) << "segment " << i;
+    for (size_t d = 0; d < a.num_aggregates(); ++d) {
+      EXPECT_EQ(a.value(i, d), b.value(i, d))
+          << "segment " << i << " dim " << d;
+    }
+  }
+}
+
+// Rows [from, to) of rel as a standalone relation.
+SequentialRelation Slice(const SequentialRelation& rel, size_t from,
+                         size_t to) {
+  SequentialRelation out(rel.num_aggregates());
+  for (size_t i = from; i < to && i < rel.size(); ++i) {
+    out.Append(rel.group(i), rel.interval(i), rel.values(i));
+  }
+  return out;
+}
+
+// Streams `rel` through a fresh engine in chunks of `chunk_rows` and
+// finalizes. The watermark stays untouched: the byte-identical mode.
+Result<SequentialRelation> StreamInChunks(const SequentialRelation& rel,
+                                          size_t chunk_rows,
+                                          StreamingOptions options,
+                                          StreamingStats* stats = nullptr) {
+  StreamingPtaEngine engine(rel.num_aggregates(), std::move(options));
+  for (size_t from = 0; from < rel.size(); from += chunk_rows) {
+    const Status status =
+        engine.IngestChunk(Slice(rel, from, from + chunk_rows));
+    if (!status.ok()) return status;
+  }
+  auto out = engine.Finalize();
+  if (stats != nullptr) *stats = engine.stats();
+  return out;
+}
+
+// A time-major multi-group feed: at every tick each group (minus a
+// deterministic subset, producing gaps) appends one unit segment whose
+// values random-walk. Arrival order interleaves groups, which a
+// group-major SequentialRelation cannot represent — exactly the shape the
+// streaming engine exists for. Returns arrival order + the group-major
+// equivalent for the batch oracles.
+struct LiveFeed {
+  std::vector<Segment> arrival;      // time-major
+  SequentialRelation group_major;    // sorted by group, the batch input
+};
+
+LiveFeed MakeLiveFeed(size_t ticks, size_t num_groups, size_t p,
+                      uint64_t seed) {
+  Random rng(seed);
+  LiveFeed feed;
+  feed.group_major = SequentialRelation(p);
+  std::vector<std::vector<double>> level(num_groups,
+                                         std::vector<double>(p, 50.0));
+  std::vector<std::vector<Segment>> per_group(num_groups);
+  for (size_t t = 0; t < ticks; ++t) {
+    for (size_t g = 0; g < num_groups; ++g) {
+      if ((t + g) % 97 == 13) continue;  // deterministic gaps
+      Segment seg;
+      seg.group = static_cast<int32_t>(g);
+      seg.t = Interval(static_cast<Chronon>(t), static_cast<Chronon>(t));
+      for (size_t d = 0; d < p; ++d) {
+        level[g][d] += rng.Uniform(-1.0, 1.0);
+        seg.values.push_back(level[g][d]);
+      }
+      feed.arrival.push_back(seg);
+      per_group[g].push_back(std::move(seg));
+    }
+  }
+  for (size_t g = 0; g < num_groups; ++g) {
+    for (const Segment& seg : per_group[g]) feed.group_major.Append(seg);
+  }
+  return feed;
+}
+
+// ------------------------------------------------- batch equivalence (off)
+
+TEST(StreamEquivalenceTest, ByteIdenticalToBatchAcrossChunkings) {
+  const SequentialRelation rel = RandomSequential(400, 3, 5, 0.08, 21);
+  const size_t cmin = rel.CMin();
+  for (size_t c : {cmin, cmin + 40, rel.size() / 2}) {
+    GreedyStats batch_stats;
+    RelationSegmentSource src(rel);
+    auto batch = GreedyReduceToSize(src, c, {}, &batch_stats);
+    ASSERT_TRUE(batch.ok());
+    for (size_t chunk_rows : {size_t{1}, size_t{7}, size_t{64}, rel.size()}) {
+      StreamingOptions options;
+      options.size_budget = c;
+      StreamingStats stats;
+      auto streamed = StreamInChunks(rel, chunk_rows, options, &stats);
+      ASSERT_TRUE(streamed.ok()) << streamed.status().ToString();
+      ExpectExactlyEqual(*streamed, batch->relation);
+      EXPECT_EQ(stats.merges, batch_stats.merges) << "chunk " << chunk_rows;
+      EXPECT_EQ(stats.early_merges, batch_stats.early_merges);
+      EXPECT_EQ(stats.max_live_rows, batch_stats.max_heap_size);
+      EXPECT_EQ(stats.emitted, 0u);
+    }
+  }
+}
+
+TEST(StreamEquivalenceTest, ByteIdenticalErrorAcrossChunkings) {
+  const SequentialRelation rel = RandomSequential(300, 2, 4, 0.1, 5);
+  const size_t c = rel.CMin() + 25;
+  RelationSegmentSource src(rel);
+  auto batch = GreedyReduceToSize(src, c);
+  ASSERT_TRUE(batch.ok());
+  StreamingOptions options;
+  options.size_budget = c;
+  StreamingPtaEngine engine(rel.num_aggregates(), options);
+  ASSERT_TRUE(engine.IngestChunk(rel).ok());
+  auto streamed = engine.Finalize();
+  ASSERT_TRUE(streamed.ok());
+  // Same merge schedule, same floating-point operation order: the SSE is
+  // bitwise equal, not just close.
+  EXPECT_EQ(engine.total_error(), batch->error);
+}
+
+TEST(StreamEquivalenceTest, ByteIdenticalUnderDeltaWeightsAndGapMerging) {
+  const SequentialRelation rel = RandomSequential(250, 2, 3, 0.12, 77);
+  struct Case {
+    size_t delta;
+    bool gaps;
+    std::vector<double> weights;
+  };
+  const Case cases[] = {
+      {0, false, {}},
+      {3, false, {2.0, 0.5}},
+      {GreedyOptions::kDeltaInfinity, false, {}},
+      {1, true, {1.0, 3.0}},
+  };
+  for (const Case& c : cases) {
+    const size_t budget = rel.CMin() + 20;
+    GreedyOptions greedy;
+    greedy.delta = c.delta;
+    greedy.merge_across_gaps = c.gaps;
+    greedy.weights = c.weights;
+    RelationSegmentSource src(rel);
+    auto batch = GreedyReduceToSize(src, budget, greedy);
+    ASSERT_TRUE(batch.ok());
+
+    StreamingOptions options;
+    options.size_budget = budget;
+    options.delta = c.delta;
+    options.merge_across_gaps = c.gaps;
+    options.weights = c.weights;
+    auto streamed = StreamInChunks(rel, 13, options);
+    ASSERT_TRUE(streamed.ok());
+    ExpectExactlyEqual(*streamed, batch->relation);
+  }
+}
+
+TEST(StreamEquivalenceTest, SnapshotsDoNotDisturbTheSchedule) {
+  const SequentialRelation rel = RandomSequential(200, 2, 3, 0.05, 9);
+  const size_t c = rel.CMin() + 15;
+  RelationSegmentSource src(rel);
+  auto batch = GreedyReduceToSize(src, c);
+  ASSERT_TRUE(batch.ok());
+
+  StreamingOptions options;
+  options.size_budget = c;
+  StreamingPtaEngine engine(rel.num_aggregates(), options);
+  for (size_t from = 0; from < rel.size(); from += 17) {
+    ASSERT_TRUE(engine.IngestChunk(Slice(rel, from, from + 17)).ok());
+    const SequentialRelation snap = engine.Snapshot();
+    EXPECT_TRUE(snap.Validate().ok());
+    EXPECT_EQ(snap.size(), engine.live_rows());
+  }
+  auto streamed = engine.Finalize();
+  ASSERT_TRUE(streamed.ok());
+  ExpectExactlyEqual(*streamed, batch->relation);
+}
+
+// ------------------------------------------------------ interleaved groups
+
+TEST(StreamInterleaveTest, TimeMajorArrivalProducesValidConsistentSummary) {
+  const LiveFeed feed = MakeLiveFeed(300, 4, 2, 42);
+  StreamingOptions options;
+  options.size_budget = 64;
+  StreamingPtaEngine engine(2, options);
+  for (const Segment& seg : feed.arrival) {
+    ASSERT_TRUE(engine.Ingest(seg).ok());
+  }
+  auto out = engine.Finalize();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Validate().ok());
+  EXPECT_LE(out->size(), 64u);
+  // The reported cumulative merge SSE is the true Def. 5 distance.
+  auto sse = StepFunctionSse(feed.group_major, *out);
+  ASSERT_TRUE(sse.ok());
+  EXPECT_NEAR(*sse, engine.total_error(),
+              1e-6 * (1.0 + engine.total_error()));
+}
+
+// ------------------------------------------------------------- watermarks
+
+TEST(StreamWatermarkTest, SealsExactlyTheSettledPrefix) {
+  StreamingOptions options;
+  options.size_budget = 100;
+  StreamingPtaEngine engine(1, options);
+  for (Chronon t = 0; t < 10; ++t) {
+    Segment seg;
+    seg.group = 0;
+    seg.t = Interval(t, t);
+    seg.values = {static_cast<double>(100 * t)};  // distinct: no merging
+    ASSERT_TRUE(engine.Ingest(seg).ok());
+  }
+  ASSERT_TRUE(engine.AdvanceWatermark(5).ok());
+  // Settled: end + 1 < 5, i.e. rows [0,0] ... [3,3]. Row [4,4] could still
+  // meet an arrival beginning at 5, so it stays live.
+  EXPECT_EQ(engine.pending_rows(), 4u);
+  EXPECT_EQ(engine.live_rows(), 6u);
+  const SequentialRelation emitted = engine.TakeEmitted();
+  ASSERT_EQ(emitted.size(), 4u);
+  EXPECT_EQ(emitted.interval(3), Interval(3, 3));
+  EXPECT_EQ(engine.pending_rows(), 0u);
+  // Sealed rows are final: a later watermark does not re-emit them.
+  ASSERT_TRUE(engine.AdvanceWatermark(5).ok());
+  EXPECT_EQ(engine.pending_rows(), 0u);
+}
+
+TEST(StreamWatermarkTest, EnforcesTheArrivalPromiseAndMonotonicity) {
+  StreamingOptions options;
+  options.size_budget = 8;
+  StreamingPtaEngine engine(1, options);
+  Segment seg;
+  seg.group = 0;
+  seg.t = Interval(10, 12);
+  seg.values = {1.0};
+  ASSERT_TRUE(engine.Ingest(seg).ok());
+  ASSERT_TRUE(engine.AdvanceWatermark(20).ok());
+  // Going backwards is an error.
+  EXPECT_FALSE(engine.AdvanceWatermark(19).ok());
+  // A segment beginning before the watermark violates the promise.
+  seg.t = Interval(19, 25);
+  seg.group = 1;
+  EXPECT_FALSE(engine.Ingest(seg).ok());
+  // At the watermark is fine.
+  seg.t = Interval(20, 25);
+  EXPECT_TRUE(engine.Ingest(seg).ok());
+}
+
+TEST(StreamWatermarkTest, GapMergingKeepsGroupTailsLive) {
+  StreamingOptions options;
+  options.size_budget = 100;
+  options.merge_across_gaps = true;
+  StreamingPtaEngine engine(1, options);
+  Segment seg;
+  seg.group = 0;
+  seg.values = {1.0};
+  seg.t = Interval(0, 1);
+  ASSERT_TRUE(engine.Ingest(seg).ok());
+  seg.t = Interval(5, 6);
+  ASSERT_TRUE(engine.Ingest(seg).ok());
+  // Both rows end long before the watermark, but with gap merging a future
+  // arrival can fold into the tail, so only the first row seals.
+  ASSERT_TRUE(engine.AdvanceWatermark(50).ok());
+  EXPECT_EQ(engine.pending_rows(), 1u);
+  EXPECT_EQ(engine.live_rows(), 1u);
+}
+
+TEST(StreamWatermarkTest, BoundedDeviationFromBatchAtEqualOutputSize) {
+  const LiveFeed feed = MakeLiveFeed(1500, 3, 2, 7);
+  StreamingOptions options;
+  options.size_budget = 48;
+  StreamingPtaEngine engine(2, options);
+
+  // Ingest time-major, advancing the watermark with a lag of 64 ticks and
+  // draining emissions as a dashboard would.
+  std::map<int32_t, std::vector<Segment>> by_group;
+  auto collect = [&by_group](const SequentialRelation& rel) {
+    for (size_t i = 0; i < rel.size(); ++i) {
+      Segment seg;
+      seg.group = rel.group(i);
+      seg.t = rel.interval(i);
+      seg.values.assign(rel.values(i), rel.values(i) + rel.num_aggregates());
+      by_group[seg.group].push_back(std::move(seg));
+    }
+  };
+  size_t ingested = 0;
+  for (const Segment& seg : feed.arrival) {
+    ASSERT_TRUE(engine.Ingest(seg).ok());
+    if (++ingested % 256 == 0) {
+      ASSERT_TRUE(engine.AdvanceWatermark(seg.t.begin - 64).ok());
+      collect(engine.TakeEmitted());
+      // The memory bound of docs/STREAMING.md §4: resident rows never
+      // exceed the budget plus what the watermark lag keeps unsealed
+      // (3 groups x 64 ticks here) plus the read-ahead overshoot —
+      // independent of the total stream length.
+      EXPECT_LE(engine.live_rows(), options.size_budget + 3 * 64 + 16);
+    }
+  }
+  auto final_rows = engine.Finalize();
+  ASSERT_TRUE(final_rows.ok());
+  collect(*final_rows);
+
+  SequentialRelation combined(2);
+  for (const auto& [group, segs] : by_group) {
+    (void)group;
+    for (const Segment& seg : segs) combined.Append(seg);
+  }
+  ASSERT_TRUE(combined.Validate().ok());
+
+  // Self-consistency: reported SSE == Def. 5 distance to the input.
+  auto sse = StepFunctionSse(feed.group_major, combined);
+  ASSERT_TRUE(sse.ok());
+  EXPECT_NEAR(*sse, engine.total_error(),
+              1e-6 * (1.0 + engine.total_error()));
+
+  // Bounded deviation: against batch GMS reduced to the same output size,
+  // the streamed error stays within a small constant factor. (Streaming
+  // merges with less information; GMS picks the global minimum each time.)
+  auto batch = GmsReduceToSize(feed.group_major, combined.size());
+  ASSERT_TRUE(batch.ok());
+  EXPECT_LE(engine.total_error(), 3.0 * batch->error + 1e-9);
+  // And it never merges more than the budget demands: the combined output
+  // is at least as fine as the batch run at the same budget.
+  EXPECT_GE(combined.size(), options.size_budget);
+}
+
+TEST(StreamWatermarkTest, AutoWatermarkEmitsWithoutManualCalls) {
+  const LiveFeed feed = MakeLiveFeed(600, 2, 1, 11);
+  StreamingOptions options;
+  options.size_budget = 32;
+  options.auto_watermark_lag = 50;
+  StreamingPtaEngine engine(1, options);
+  // Feed time-major chunks of 100 segments.
+  size_t taken = 0;
+  SequentialRelation chunk(1);
+  for (size_t i = 0; i < feed.arrival.size(); ++i) {
+    chunk.Append(feed.arrival[i]);
+    if (chunk.size() == 100 || i + 1 == feed.arrival.size()) {
+      // Time-major chunks interleave groups, so feed them row-wise is not
+      // needed: IngestChunk accepts any per-group-chronological order.
+      ASSERT_TRUE(engine.IngestChunk(chunk).ok());
+      chunk = SequentialRelation(1);
+      taken += engine.TakeEmitted().size();
+    }
+  }
+  EXPECT_GT(taken, 0u);
+  EXPECT_GT(engine.watermark(), StreamingPtaEngine::kNoWatermark);
+  auto out = engine.Finalize();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->Validate().ok());
+}
+
+// ----------------------------------------------------------- state machine
+
+TEST(StreamStateTest, RejectsMalformedIngestAndPreservesState) {
+  StreamingOptions options;
+  options.size_budget = 8;
+  StreamingPtaEngine engine(2, options);
+  Segment seg;
+  seg.group = 0;
+  seg.t = Interval(0, 4);
+  seg.values = {1.0, 2.0};
+  ASSERT_TRUE(engine.Ingest(seg).ok());
+  // Arity mismatch.
+  Segment bad = seg;
+  bad.values = {1.0};
+  bad.t = Interval(10, 11);
+  EXPECT_FALSE(engine.Ingest(bad).ok());
+  // Overlap with the group tail.
+  seg.t = Interval(4, 6);
+  EXPECT_FALSE(engine.Ingest(seg).ok());
+  // The engine still works after rejections.
+  seg.t = Interval(5, 6);
+  EXPECT_TRUE(engine.Ingest(seg).ok());
+  EXPECT_EQ(engine.live_rows(), 2u);
+  EXPECT_EQ(engine.stats().ingested, 2u);
+}
+
+TEST(StreamStateTest, FinalizeIsTerminal) {
+  StreamingOptions options;
+  options.size_budget = 4;
+  StreamingPtaEngine engine(1, options);
+  auto empty = engine.Finalize();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  EXPECT_FALSE(engine.Finalize().ok());
+  Segment seg;
+  seg.group = 0;
+  seg.t = Interval(0, 1);
+  seg.values = {1.0};
+  EXPECT_FALSE(engine.Ingest(seg).ok());
+  EXPECT_FALSE(engine.AdvanceWatermark(10).ok());
+}
+
+TEST(StreamStateTest, InfeasibleBudgetStopsAtTheLiveCmin) {
+  // Three runs separated by gaps but a budget of 1: batch gPTAc fails;
+  // the streaming engine documents the softer contract and returns the
+  // cmin rows instead.
+  StreamingOptions options;
+  options.size_budget = 1;
+  StreamingPtaEngine engine(1, options);
+  Segment seg;
+  seg.group = 0;
+  seg.values = {1.0};
+  for (Chronon t : {0, 10, 20}) {
+    seg.t = Interval(t, t + 1);
+    ASSERT_TRUE(engine.Ingest(seg).ok());
+  }
+  auto out = engine.Finalize();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+  EXPECT_EQ(engine.total_error(), 0.0);
+}
+
+TEST(StreamStateTest, LiveMemoryStaysNearTheBudgetOnGapFreeStreams) {
+  // delta = 0 merges eagerly, so on a gap-free stream the live set can
+  // never exceed c + 1: the sharpest online form of Fig. 20's c + beta.
+  // (Positive delta defers merges whose top is the stream tail, letting
+  // beta drift with the workload, identically to batch gPTAc.)
+  StreamingOptions options;
+  options.size_budget = 100;
+  options.delta = 0;
+  StreamingPtaEngine engine(1, options);
+  Random rng(3);
+  Segment seg;
+  seg.group = 0;
+  seg.values = {0.0};
+  for (Chronon t = 0; t < 20000; ++t) {
+    seg.t = Interval(t, t);
+    seg.values[0] = rng.Uniform(0.0, 100.0);
+    ASSERT_TRUE(engine.Ingest(seg).ok());
+  }
+  EXPECT_LE(engine.stats().max_live_rows, options.size_budget + 1);
+  auto out = engine.Finalize();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), options.size_budget);
+}
+
+TEST(StreamStateTest, TakeEmittedReleasesFinishedGroups) {
+  StreamingOptions options;
+  options.size_budget = 100;
+  StreamingPtaEngine engine(1, options);
+  Segment seg;
+  seg.values = {1.0};
+  for (int32_t g = 0; g < 50; ++g) {
+    seg.group = g;
+    seg.t = Interval(g, g);
+    ASSERT_TRUE(engine.Ingest(seg).ok());
+  }
+  // Everything is far behind the watermark: all 50 groups seal entirely.
+  ASSERT_TRUE(engine.AdvanceWatermark(1000).ok());
+  EXPECT_EQ(engine.live_rows(), 0u);
+  EXPECT_EQ(engine.TakeEmitted().size(), 50u);
+  // Old groups are released; re-appearing groups start fresh chains.
+  seg.group = 7;
+  seg.t = Interval(2000, 2000);
+  EXPECT_TRUE(engine.Ingest(seg).ok());
+  EXPECT_EQ(engine.live_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace pta
