@@ -3,7 +3,7 @@
 // (Table 1(d), query S2 shape: many independent groups).
 //
 // Not a paper figure — this benchmarks the repo's own parallel subsystem
-// (docs/ARCHITECTURE.md §4). Stdout is JSON Lines so the records can be
+// (docs/ARCHITECTURE.md §5). Stdout is JSON Lines so the records can be
 // appended to a perf trajectory; the human-readable table goes to stderr.
 // Two invariants are checked and reported in the summary record:
 //   * with one shard and one thread, the engine output is byte-identical

@@ -39,6 +39,7 @@ constexpr BenchSpec kBenches[] = {
     {"bench_fig20_heap_size", ""},
     {"bench_fig21_greedy_scalability", ""},
     {"bench_parallel_scaling", ""},
+    {"bench_query_engines", ""},
     {"bench_stream_throughput", ""},
     {"bench_table1_datasets", ""},
 #if PTA_HAVE_MICRO_BENCH

@@ -1,11 +1,12 @@
 // Sharded PTA end to end: compress per-vehicle telemetry with the parallel
-// group-sharded engine (docs/ARCHITECTURE.md §4).
+// group-sharded engine (docs/ARCHITECTURE.md §5).
 //
 // A fleet of vehicles reports overlapping measurement intervals; ITA turns
-// them into per-vehicle constant segments and ParallelGreedyPtaBySize
-// reduces the result to a global budget, sharding the vehicles across a
-// thread pool by a stable hash of the grouping attribute. The result is
-// identical for any thread count — threads only change the wall clock.
+// them into per-vehicle constant segments and a PtaQuery with Parallel()
+// tuning reduces the result to a global budget, sharding the vehicles
+// across a thread pool by a stable hash of the grouping attribute. The
+// result is identical for any thread count — threads only change the wall
+// clock.
 //
 // Run:  ./build/examples/fleet_telemetry
 
@@ -32,28 +33,35 @@ int main() {
               fleet.size(), synth.num_groups);
 
   // Average both sensors per vehicle at every instant, then keep a budget
-  // of 300 output tuples, sharded over the vehicle attribute G.
-  const ItaSpec spec{{"G"}, {Avg("A1", "AvgSpeed"), Avg("A2", "AvgTemp")}};
+  // of 300 output tuples, sharded over the vehicle attribute G. Giving the
+  // query Parallel() tuning steers the planner to the sharded engine.
   ParallelOptions parallel;
   parallel.num_threads = 4;
   parallel.num_shards = 8;
   parallel.shard_by = {"G"};
 
-  ParallelStats stats;
+  PtaRunStats run_stats;
   Stopwatch watch;
-  auto result = ParallelGreedyPtaBySize(fleet, spec, /*c=*/300, parallel, {},
-                                        &stats);
+  auto result = PtaQuery::Over(fleet)
+                    .GroupBy("G")
+                    .Aggregate(Avg("A1", "AvgSpeed"))
+                    .Aggregate(Avg("A2", "AvgTemp"))
+                    .Budget(Budget::Size(300))
+                    .Parallel(parallel)
+                    .Run(&run_stats);
   const double seconds = watch.ElapsedSeconds();
   if (!result.ok()) {
     std::fprintf(stderr, "parallel PTA failed: %s\n",
                  result.status().ToString().c_str());
     return 1;
   }
+  const ParallelStats& stats = run_stats.parallel;
 
   std::printf(
       "reduced ITA result of %zu segments to %zu tuples "
-      "(SSE %.1f) in %.3f s\n",
-      result->ita_size, result->relation.size(), result->error, seconds);
+      "(SSE %.1f) in %.3f s [engine %s, planning %.0f us]\n",
+      result->ita_size, result->relation.size(), result->error, seconds,
+      EngineName(run_stats.engine), run_stats.plan_seconds * 1e6);
   std::printf("shards: %zu on %zu threads; per-shard (size -> budget):\n",
               stats.num_shards, stats.threads_used);
   for (size_t s = 0; s < stats.num_shards; ++s) {

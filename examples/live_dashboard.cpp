@@ -1,4 +1,4 @@
-// Live dashboard: a ShardedStreamingEngine summarizing an endless,
+// Live dashboard: a sharded StreamingQuery summarizing an endless,
 // interleaved multi-service telemetry feed with bounded memory.
 //
 // This is the online sibling of examples/stream_summarizer.cpp: where that
@@ -15,7 +15,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "stream/sharded_stream.h"
+#include "pta/stream_api.h"
 #include "util/random.h"
 
 namespace {
@@ -50,12 +50,11 @@ class FleetFeed {
   std::vector<double> level_;
 };
 
-void PrintSnapshot(const pta::ShardedStreamingEngine& engine,
-                   pta::Chronon now) {
+void PrintSnapshot(const pta::StreamingQuery& engine, pta::Chronon now) {
   const pta::SequentialRelation snap = engine.Snapshot();
   std::printf("--- minute %6lld | live rows %3zu | finalized so far %5zu ---\n",
               static_cast<long long>(now), engine.live_rows(),
-              engine.AggregateStats().emitted);
+              engine.stats().emitted);
   // The freshest summary row per service: what a status tile would show.
   for (size_t i = 0; i < snap.size(); ++i) {
     const bool last_of_group =
@@ -85,7 +84,19 @@ int main() {
   parallel.num_shards = 3;  // fixed => identical output on every host
   parallel.num_threads = 3;
 
-  ShardedStreamingEngine engine(/*num_aggregates=*/1, options, parallel);
+  // The streaming binding of the query surface: Parallel() tuning makes
+  // Start() bind one engine per group shard on a thread pool.
+  auto started = PtaQuery::Stream(/*num_aggregates=*/1)
+                     .Budget(Budget::Size(options.size_budget))
+                     .Streaming(options)
+                     .Parallel(parallel)
+                     .Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "query rejected: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  StreamingQuery& engine = *started;
   FleetFeed feed;
 
   size_t finalized_rows = 0;
@@ -119,7 +130,7 @@ int main() {
                  tail.status().ToString().c_str());
     return 1;
   }
-  const StreamingStats stats = engine.AggregateStats();
+  const StreamingStats stats = engine.stats();
   std::printf("\nfed %zu minutes across %zu services (%zu rows)\n", kMinutes,
               kServices, stats.ingested);
   std::printf("finalized %zu coarse rows covering %.0f minutes; %zu tail "

@@ -5,9 +5,9 @@
 // PTA query, and writes the reduced relation back as CSV.
 //
 // Usage:
-//   pta_csv_tool --input data.csv --schema Dept:string,Sal:double \
-//                --group-by Dept --agg avg:Sal:AvgSal \
-//                (--size 100 | --error 0.05) [--greedy] [--delta 1] \
+//   pta_csv_tool --input data.csv --schema Dept:string,Sal:double
+//                --group-by Dept --agg avg:Sal:AvgSal
+//                (--size 100 | --error 0.05) [--greedy] [--delta 1]
 //                [--merge-across-gaps] [--output out.csv]
 //
 // With no arguments the tool runs a built-in demo on the paper's running
@@ -119,8 +119,12 @@ int RunDemo() {
   PTA_CHECK(proj.Insert({"John", "B", 500.0}, Interval(7, 8)).ok());
 
   std::printf("input CSV:\n%s\n", RelationToCsv(proj).c_str());
-  auto result =
-      PtaBySize(proj, {{"Proj"}, {Avg("Sal", "AvgSal")}}, /*c=*/4);
+  auto result = PtaQuery::Over(proj)
+                    .GroupBy("Proj")
+                    .Aggregate(Avg("Sal", "AvgSal"))
+                    .Budget(Budget::Size(4))
+                    .Engine(Engine::kExactDp)
+                    .Run();
   PTA_CHECK(result.ok());
   const Schema group_schema({{"Proj", ValueType::kString}});
   auto out = result->relation.ToTemporalRelation(group_schema);
@@ -210,20 +214,22 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<PtaResult> result = Status::InvalidArgument("unreachable");
+  // One query, assembled from the flags; --greedy/--size/--error only
+  // change the engine and budget, never the query shape.
+  PtaQuery query = PtaQuery::Over(*rel).Spec(spec).Budget(
+      args.size > 0 ? Budget::Size(args.size)
+                    : Budget::RelativeError(args.error));
   if (args.greedy) {
     GreedyPtaOptions options;
     options.delta = args.delta;
     options.merge_across_gaps = args.merge_across_gaps;
-    result = args.size > 0
-                 ? GreedyPtaBySize(*rel, spec, args.size, options)
-                 : GreedyPtaByError(*rel, spec, args.error, options);
+    query.Engine(Engine::kGreedy).Greedy(options);
   } else {
     PtaOptions options;
     options.merge_across_gaps = args.merge_across_gaps;
-    result = args.size > 0 ? PtaBySize(*rel, spec, args.size, options)
-                           : PtaByError(*rel, spec, args.error, options);
+    query.Engine(Engine::kExactDp).Exact(options);
   }
+  Result<PtaResult> result = query.Run();
   if (!result.ok()) {
     std::fprintf(stderr, "PTA failed: %s\n",
                  result.status().ToString().c_str());

@@ -60,7 +60,14 @@ int main() {
               ita->ToTemporalRelation(group_schema)->ToString().c_str());
 
   // ---- PTA: same query, result bounded to 4 tuples ------------------
-  auto pta = PtaBySize(proj, ita_spec, /*c=*/4);
+  // One query surface for every engine: state the what (input, grouping,
+  // aggregate, budget) and let the planner pick the how (kAuto resolves
+  // to the exact DP at this size).
+  auto pta = PtaQuery::Over(proj)
+                 .GroupBy("Proj")
+                 .Aggregate(Avg("Sal", "AvgSal"))
+                 .Budget(Budget::Size(4))
+                 .Run();
   if (!pta.ok()) {
     std::fprintf(stderr, "PTA failed: %s\n", pta.status().ToString().c_str());
     return 1;
@@ -71,7 +78,11 @@ int main() {
                   .c_str());
 
   // ---- PTA, error-bounded: at most 20%% of the maximal error ---------
-  auto pta_eps = PtaByError(proj, ita_spec, /*eps=*/0.2);
+  auto pta_eps = PtaQuery::Over(proj)
+                     .Spec(ita_spec)
+                     .Budget(Budget::RelativeError(0.2))
+                     .Engine(Engine::kExactDp)
+                     .Run();
   if (!pta_eps.ok()) return 1;
   std::printf("PTA result with eps = 0.2 (%zu tuples, SSE = %.2f):\n%s\n",
               pta_eps->relation.size(), pta_eps->error,

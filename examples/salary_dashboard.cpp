@@ -37,12 +37,17 @@ int main() {
   std::printf("ITA result: %zu tuples (cmin = %zu, Emax = %.3g)\n\n",
               ita->size(), ctx.cmin(), ctx.MaxError());
 
-  // Size/error trade-off: how small can the dashboard series get?
+  // Size/error trade-off: how small can the dashboard series get? The
+  // materialized ITA result feeds the query surface directly
+  // (OverSequential skips re-running ITA for every budget).
   TablePrinter table({"budget c", "reduction", "SSE", "% of Emax"});
   for (size_t c : {ita->size() / 2, ita->size() / 4, ita->size() / 10,
                    ita->size() / 20, size_t{12}}) {
     if (c < ctx.cmin()) continue;
-    auto reduced = ReduceToSizeDp(*ita, c);
+    auto reduced = PtaQuery::OverSequential(*ita)
+                       .Budget(Budget::Size(c))
+                       .Engine(Engine::kExactDp)
+                       .Run();
     if (!reduced.ok()) continue;
     table.AddRow({TablePrinter::Fmt(static_cast<uint64_t>(c)),
                   TablePrinter::FmtPercent(
@@ -54,8 +59,13 @@ int main() {
   }
   table.Print();
 
-  // The 12-segment dashboard timeline itself.
-  auto dashboard = PtaBySize(employees, query, 12);
+  // The 12-segment dashboard timeline itself, end to end from the base
+  // relation this time.
+  auto dashboard = PtaQuery::Over(employees)
+                       .Spec(query)
+                       .Budget(Budget::Size(12))
+                       .Engine(Engine::kExactDp)
+                       .Run();
   if (!dashboard.ok()) {
     std::fprintf(stderr, "PTA failed: %s\n",
                  dashboard.status().ToString().c_str());

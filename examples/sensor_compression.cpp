@@ -12,9 +12,8 @@
 
 #include "baselines/atc.h"
 #include "datasets/timeseries.h"
-#include "pta/dp.h"
 #include "pta/error.h"
-#include "pta/greedy.h"
+#include "pta/query.h"
 #include "util/table_printer.h"
 
 int main() {
@@ -30,19 +29,29 @@ int main() {
       "(cmin = %zu)\n\n",
       archive.size(), kStations, ctx.gaps().size(), ctx.cmin());
 
+  // The archive is already a sequential relation, so the queries bind it
+  // with OverSequential; only the engine differs between the two PTA rows.
+  GreedyPtaOptions greedy_tuning;
+  greedy_tuning.sample_fraction = 1.0;  // exact Êmax at the segment level
+
   TablePrinter table({"eps", "PTAe size", "PTAe SSE", "gPTAe size",
                       "gPTAe SSE", "ATC size", "ATC SSE"});
   for (double eps : {0.001, 0.01, 0.05, 0.2}) {
-    auto exact = ReduceToErrorDp(archive, eps);
+    auto exact = PtaQuery::OverSequential(archive)
+                     .Budget(Budget::RelativeError(eps))
+                     .Engine(Engine::kExactDp)
+                     .Run();
     if (!exact.ok()) {
       std::fprintf(stderr, "PTAe failed: %s\n",
                    exact.status().ToString().c_str());
       return 1;
     }
 
-    GreedyErrorEstimates estimates{ctx.MaxError(), archive.size()};
-    RelationSegmentSource source(archive);
-    auto greedy = GreedyReduceToError(source, eps, estimates);
+    auto greedy = PtaQuery::OverSequential(archive)
+                      .Budget(Budget::RelativeError(eps))
+                      .Engine(Engine::kGreedy)
+                      .Greedy(greedy_tuning)
+                      .Run();
     if (!greedy.ok()) return 1;
 
     // ATC with the matching local threshold (its classic configuration).

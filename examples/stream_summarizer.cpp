@@ -1,31 +1,31 @@
-// Streaming summarizer: bounded-memory gPTAc over a source that produces
-// tuples one at a time.
+// Streaming summarizer: bounded-memory online PTA over a source that
+// produces tuples one at a time.
 //
-// This example wires a custom SegmentSource (a simulated live feed of
-// hourly service-latency aggregates) directly into GreedyReduceToSize,
-// demonstrating the Sec. 6.2 integration: merging happens while the feed is
-// still producing, and memory stays at c + beta nodes regardless of stream
-// length.
+// This example drives a simulated live feed of hourly service-latency
+// aggregates through the query surface's streaming binding: a relation-less
+// PtaQuery::Stream(p) query, started as a StreamingQuery handle and fed
+// segment by segment. With the watermark left off, the terminal Finalize()
+// is byte-identical to draining the same feed through batch gPTAc
+// (Sec. 6.2's integration) while memory stays at c + beta live rows
+// regardless of stream length.
 //
 // Run:  ./build/examples/stream_summarizer
 
 #include <cmath>
 #include <cstdio>
 
-#include "pta/greedy.h"
+#include "pta/stream_api.h"
 #include "util/random.h"
 
 namespace {
 
 // A live feed: hourly p50/p99 latency of a service with daily load cycles,
 // deploy-induced level shifts and nightly maintenance windows (gaps).
-class LatencyFeed : public pta::SegmentSource {
+class LatencyFeed {
  public:
   explicit LatencyFeed(size_t hours) : hours_(hours), rng_(2024) {}
 
-  size_t num_aggregates() const override { return 2; }
-
-  bool Next(pta::Segment* out) override {
+  bool Next(pta::Segment* out) {
     while (produced_ < hours_) {
       const size_t hour = produced_++;
       if (hour % 2000 < 8) {  // quarterly maintenance window: no traffic
@@ -60,27 +60,44 @@ int main() {
   const size_t kBudget = 120;    // what fits on one status page; must stay
                                  // above cmin = #maintenance windows + 1
 
+  // A streaming query over two aggregate dimensions (p50, p99). No
+  // watermark tuning: ingest-time merging only, Finalize() drains to the
+  // budget exactly like batch gPTAc would.
+  auto summarizer = PtaQuery::Stream(/*num_aggregates=*/2)
+                        .Budget(Budget::Size(kBudget))
+                        .Start();
+  if (!summarizer.ok()) {
+    std::fprintf(stderr, "query rejected: %s\n",
+                 summarizer.status().ToString().c_str());
+    return 1;
+  }
+
   LatencyFeed feed(kHours);
-  GreedyOptions options;
-  options.delta = 1;
-  GreedyStats stats;
-  auto summary = GreedyReduceToSize(feed, kBudget, options, &stats);
+  Segment seg;
+  while (feed.Next(&seg)) {
+    if (const Status st = summarizer->Ingest(seg); !st.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  auto summary = summarizer->Finalize();
   if (!summary.ok()) {
     std::fprintf(stderr, "summarization failed: %s\n",
                  summary.status().ToString().c_str());
     return 1;
   }
 
+  const StreamingStats stats = summarizer->stats();
   std::printf("streamed %zu hours into %zu segments\n", kHours,
-              summary->relation.size());
+              summary->size());
   std::printf("peak live tuples in memory: %zu (budget %zu + read-ahead)\n",
-              stats.max_heap_size, kBudget);
+              stats.max_live_rows, kBudget);
   std::printf("merges performed: %zu (%zu while the stream was running)\n",
               stats.merges, stats.early_merges);
-  std::printf("total SSE introduced: %.4g\n\n", summary->error);
+  std::printf("total SSE introduced: %.4g\n\n", summarizer->total_error());
 
   std::printf("last five summary segments (p50 / p99 latency):\n");
-  const SequentialRelation& z = summary->relation;
+  const SequentialRelation& z = *summary;
   for (size_t i = z.size() >= 5 ? z.size() - 5 : 0; i < z.size(); ++i) {
     std::printf("  hours %6lld..%-6lld  p50 %7.2f ms   p99 %7.2f ms\n",
                 static_cast<long long>(z.interval(i).begin),

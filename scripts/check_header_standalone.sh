@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Header self-containment gate: every public header under src/ must compile
+# as the sole include of a translation unit. This is what keeps the pta.h
+# umbrella split honest — a header that silently leans on its includers'
+# includes (or on stream/*.h sneaking back into the batch surface) fails
+# here, not in some downstream user's build.
+#
+# Usage: scripts/check_header_standalone.sh   (run from anywhere)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cxx=${CXX:-c++}
+failed=0
+checked=0
+while IFS= read -r header; do
+  checked=$((checked + 1))
+  if ! printf '#include "%s"\n' "$header" |
+      "$cxx" -std=c++20 -Wall -Wextra -fsyntax-only -I src -x c++ -; then
+    echo "NOT self-contained: src/$header" >&2
+    failed=1
+  fi
+done < <(cd src && find . -name '*.h' | sed 's|^\./||' | sort)
+
+if [[ $failed -ne 0 ]]; then
+  echo "header self-containment check FAILED" >&2
+  exit 1
+fi
+echo "header self-containment: $checked headers compile standalone"

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Tier-1 verify: docs link check, configure, build, run the ctest suite.
+# Tier-1 verify: docs link check, header self-containment check, configure,
+# build, run the ctest suite.
 #
 # Usage: scripts/ci.sh [--asan | --tsan | --quick-bench]
 #   --asan        build in a separate tree (build-asan/) with
 #                 -fsanitize=address,undefined and run the full suite under it
 #   --tsan        build in a separate tree (build-tsan/) with -fsanitize=thread
 #                 and run the concurrency-sensitive subset
-#                 (ctest -L 'integration|parallel|stream')
+#                 (ctest -L 'integration|parallel|stream|query')
 #   --quick-bench smoke-run the benchmark sweep instead of ctest: build,
 #                 run bench/run_all --quick, and validate that every emitted
 #                 record parses as JSON (run_all itself exits non-zero when
@@ -25,7 +26,7 @@ if [[ "${1:-}" == "--asan" ]]; then
 elif [[ "${1:-}" == "--tsan" ]]; then
   build_dir=build-tsan
   cmake_args+=(-DPTA_SANITIZE_THREAD=ON)
-  ctest_args+=(-L 'integration|parallel|stream')
+  ctest_args+=(-L 'integration|parallel|stream|query')
   shift
 elif [[ "${1:-}" == "--quick-bench" ]]; then
   mode=quick-bench
@@ -37,6 +38,9 @@ if [[ $# -gt 0 ]]; then
 fi
 
 scripts/check_doc_links.sh
+# Every public header must compile standalone, so the pta.h umbrella split
+# cannot silently break includes.
+scripts/check_header_standalone.sh
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j

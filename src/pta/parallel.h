@@ -1,5 +1,5 @@
 // Parallel, group-sharded greedy PTA (the repo's first concurrency
-// subsystem; see docs/ARCHITECTURE.md §4).
+// subsystem; see docs/ARCHITECTURE.md §5).
 //
 // The paper's greedy reducers (Sec. 6) are single-threaded, but adjacency —
 // the only merge precondition (Def. 2) — never crosses an aggregation
@@ -45,7 +45,7 @@ namespace pta {
 ///
 /// The ITA result is partitioned by a stable hash of the grouping values,
 /// each shard is reduced independently on a thread pool, and the per-shard
-/// results are merged back in global group order (docs/ARCHITECTURE.md §4).
+/// results are merged back in global group order (docs/ARCHITECTURE.md §5).
 /// For a fixed num_shards the output is a pure function of the input —
 /// num_threads only changes the wall clock — and with num_shards = 1,
 /// ParallelGreedyPtaBySize is byte-identical to GreedyPtaBySize. (The

@@ -1,0 +1,304 @@
+#include "pta/plan.h"
+
+#include <utility>
+
+#include "pta/dp.h"
+#include "pta/error.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace pta {
+
+const char* EngineName(Engine engine) {
+  switch (engine) {
+    case Engine::kExactDp:
+      return "exact_dp";
+    case Engine::kGreedy:
+      return "greedy";
+    case Engine::kParallel:
+      return "parallel";
+    case Engine::kStreaming:
+      return "streaming";
+    case Engine::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Counts segments as they pass through, so the greedy backends can report
+// the ITA result size without materializing it.
+class CountingSource : public SegmentSource {
+ public:
+  explicit CountingSource(SegmentSource& inner) : inner_(&inner) {}
+  size_t num_aggregates() const override { return inner_->num_aggregates(); }
+  bool Next(Segment* out) override {
+    if (!inner_->Next(out)) return false;
+    ++count_;
+    return true;
+  }
+  size_t count() const { return count_; }
+
+ private:
+  SegmentSource* inner_;
+  size_t count_ = 0;
+};
+
+// Estimates Emax by evaluating ITA over a Bernoulli sample of the input and
+// scaling the sample's maximal error by the inverse sampling rate
+// (Sec. 6.3's sampling suggestion).
+Result<double> EstimateMaxError(const TemporalRelation& rel,
+                                const ItaSpec& spec,
+                                const GreedyPtaOptions& options) {
+  const double q = options.sample_fraction;
+  if (q <= 0.0 || q > 1.0) {
+    return Status::InvalidArgument("sample_fraction must be in (0, 1]");
+  }
+  TemporalRelation sample(rel.schema());
+  Random rng(options.sample_seed);
+  for (const Tuple& t : rel.tuples()) {
+    if (rng.Bernoulli(q)) sample.InsertUnchecked(t);
+  }
+  if (sample.empty()) return 0.0;
+  auto ita = Ita(sample, spec);
+  if (!ita.ok()) return ita.status();
+  const ErrorContext ctx(*ita, options.weights, options.merge_across_gaps);
+  return ctx.MaxError() / q;
+}
+
+// Scatter step shared by the parallel paths: partition a group-major
+// segment source into per-shard sequential relations by stable group hash.
+Result<ShardedSegmentSource> ShardSource(
+    SegmentSource& source, const std::vector<GroupKey>& group_keys,
+    const std::vector<std::string>& group_by,
+    const ParallelOptions& parallel) {
+  size_t num_shards = parallel.num_shards;
+  if (num_shards == 0) {
+    num_shards = parallel.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                           : parallel.num_threads;
+  }
+  auto shard_map =
+      GroupShardMap(group_keys, group_by, parallel.shard_by, num_shards);
+  if (!shard_map.ok()) return shard_map.status();
+  return ShardedSegmentSource::Partition(source, num_shards, *shard_map);
+}
+
+ParallelReduceOptions ToReduceOptions(const ParallelOptions& parallel,
+                                      const GreedyPtaOptions& options) {
+  ParallelReduceOptions reduce;
+  reduce.num_threads = parallel.num_threads;
+  reduce.greedy =
+      GreedyOptions{options.weights, options.delta, options.merge_across_gaps};
+  reduce.budget_sample_fraction = parallel.budget_sample_fraction;
+  reduce.budget_sample_seed = parallel.budget_sample_seed;
+  return reduce;
+}
+
+Result<PtaResult> FromReduction(Result<Reduction> reduced, size_t ita_size) {
+  if (!reduced.ok()) return reduced.status();
+  PtaResult out;
+  out.ita_size = ita_size;
+  out.error = reduced->error;
+  out.relation = std::move(reduced->relation);
+  return out;
+}
+
+}  // namespace
+
+size_t PtaPlan::num_aggregates() const {
+  if (sequential != nullptr) return sequential->num_aggregates();
+  if (stream_arity > 0) return stream_arity;
+  return spec.aggregates.size();
+}
+
+namespace {
+
+// ---- backends over a base TemporalRelation (ITA runs first) ------------
+
+Result<PtaResult> ExecExactOverRelation(const PtaPlan& plan) {
+  auto ita = Ita(*plan.relation, plan.spec);
+  if (!ita.ok()) return ita.status();
+  const DpOptions dp_options{plan.exact.weights, plan.exact.use_pruning,
+                             plan.exact.use_early_break,
+                             plan.exact.merge_across_gaps};
+  auto reduced =
+      plan.budget.is_size()
+          ? ReduceToSizeDp(*ita, plan.budget.size(), dp_options)
+          : ReduceToErrorDp(*ita, plan.budget.relative_error(), dp_options);
+  return FromReduction(std::move(reduced), ita->size());
+}
+
+Result<PtaResult> ExecGreedyOverRelation(const PtaPlan& plan,
+                                         GreedyStats* stats) {
+  GreedyErrorEstimates estimates;
+  if (!plan.budget.is_size()) {
+    // The ITA result of |r| tuples has at most 2|r| - 1 tuples (Sec. 3).
+    estimates.estimated_n =
+        plan.greedy.estimated_n > 0
+            ? plan.greedy.estimated_n
+            : (plan.relation->empty() ? 1 : 2 * plan.relation->size() - 1);
+    if (plan.greedy.estimated_max_error >= 0.0) {
+      estimates.estimated_max_error = plan.greedy.estimated_max_error;
+    } else {
+      auto est = EstimateMaxError(*plan.relation, plan.spec, plan.greedy);
+      if (!est.ok()) return est.status();
+      estimates.estimated_max_error = *est;
+    }
+  }
+
+  auto stream = ItaStream::Create(*plan.relation, plan.spec);
+  if (!stream.ok()) return stream.status();
+  CountingSource source(**stream);
+  const GreedyOptions greedy{plan.greedy.weights, plan.greedy.delta,
+                             plan.greedy.merge_across_gaps};
+  auto reduced =
+      plan.budget.is_size()
+          ? GreedyReduceToSize(source, plan.budget.size(), greedy, stats)
+          : GreedyReduceToError(source, plan.budget.relative_error(),
+                                estimates, greedy, stats);
+  auto out = FromReduction(std::move(reduced), source.count());
+  if (!out.ok()) return out;
+  out->relation.SetGroupKeys((*stream)->group_keys());
+  out->relation.SetValueNames((*stream)->value_names());
+  return out;
+}
+
+Result<PtaResult> ExecParallelOverRelation(const PtaPlan& plan,
+                                           ParallelStats* stats) {
+  auto stream = ItaStream::Create(*plan.relation, plan.spec);
+  if (!stream.ok()) return stream.status();
+  auto shards = ShardSource(**stream, (*stream)->group_keys(),
+                            plan.spec.group_by, plan.parallel);
+  if (!shards.ok()) return shards.status();
+  const ParallelReduceOptions reduce =
+      ToReduceOptions(plan.parallel, plan.greedy);
+  auto reduced =
+      plan.budget.is_size()
+          ? ParallelReduceToSize(*shards, plan.budget.size(), reduce, stats)
+          : ParallelReduceToError(*shards, plan.budget.relative_error(),
+                                  reduce, stats);
+  auto out = FromReduction(std::move(reduced), shards->total_size());
+  if (!out.ok()) return out;
+  out->relation.SetGroupKeys((*stream)->group_keys());
+  out->relation.SetValueNames((*stream)->value_names());
+  return out;
+}
+
+// ---- backends over a pre-aggregated SequentialRelation (ITA skipped) ---
+
+Result<PtaResult> ExecExactOverSequential(const PtaPlan& plan) {
+  const DpOptions dp_options{plan.exact.weights, plan.exact.use_pruning,
+                             plan.exact.use_early_break,
+                             plan.exact.merge_across_gaps};
+  auto reduced =
+      plan.budget.is_size()
+          ? ReduceToSizeDp(*plan.sequential, plan.budget.size(), dp_options)
+          : ReduceToErrorDp(*plan.sequential, plan.budget.relative_error(),
+                            dp_options);
+  // The DP reconstructs metadata from its input; nothing to re-attach.
+  return FromReduction(std::move(reduced), plan.sequential->size());
+}
+
+Result<PtaResult> ExecGreedyOverSequential(const PtaPlan& plan,
+                                           GreedyStats* stats) {
+  GreedyErrorEstimates estimates;
+  if (!plan.budget.is_size()) {
+    // Unlike the base-relation path, n is known exactly here, and Êmax can
+    // be sampled at the segment level (fraction 1 = the exact MaxError).
+    estimates.estimated_n = plan.greedy.estimated_n > 0
+                                ? plan.greedy.estimated_n
+                                : plan.sequential->size();
+    if (plan.greedy.estimated_max_error >= 0.0) {
+      estimates.estimated_max_error = plan.greedy.estimated_max_error;
+    } else {
+      auto est = EstimateMaxErrorBySampling(
+          *plan.sequential, plan.greedy.weights, plan.greedy.sample_fraction,
+          plan.greedy.sample_seed, plan.greedy.merge_across_gaps);
+      if (!est.ok()) return est.status();
+      estimates.estimated_max_error = *est;
+    }
+  }
+
+  RelationSegmentSource source(*plan.sequential);
+  const GreedyOptions greedy{plan.greedy.weights, plan.greedy.delta,
+                             plan.greedy.merge_across_gaps};
+  auto reduced =
+      plan.budget.is_size()
+          ? GreedyReduceToSize(source, plan.budget.size(), greedy, stats)
+          : GreedyReduceToError(source, plan.budget.relative_error(),
+                                estimates, greedy, stats);
+  auto out = FromReduction(std::move(reduced), plan.sequential->size());
+  if (!out.ok()) return out;
+  out->relation.SetGroupKeys(plan.sequential->group_keys());
+  out->relation.SetValueNames(plan.sequential->value_names());
+  return out;
+}
+
+Result<PtaResult> ExecParallelOverSequential(const PtaPlan& plan,
+                                             ParallelStats* stats) {
+  if (plan.sequential->group_keys().empty()) {
+    return Status::InvalidArgument(
+        "parallel engine over a sequential input requires group keys "
+        "(SequentialRelation::SetGroupKeys)");
+  }
+  RelationSegmentSource source(*plan.sequential);
+  auto shards = ShardSource(source, plan.sequential->group_keys(),
+                            plan.spec.group_by, plan.parallel);
+  if (!shards.ok()) return shards.status();
+  const ParallelReduceOptions reduce =
+      ToReduceOptions(plan.parallel, plan.greedy);
+  auto reduced =
+      plan.budget.is_size()
+          ? ParallelReduceToSize(*shards, plan.budget.size(), reduce, stats)
+          : ParallelReduceToError(*shards, plan.budget.relative_error(),
+                                  reduce, stats);
+  auto out = FromReduction(std::move(reduced), shards->total_size());
+  if (!out.ok()) return out;
+  out->relation.SetGroupKeys(plan.sequential->group_keys());
+  out->relation.SetValueNames(plan.sequential->value_names());
+  return out;
+}
+
+}  // namespace
+
+Result<PtaResult> PtaPlan::Execute(PtaRunStats* stats) const {
+  Stopwatch watch;
+  GreedyStats* greedy_stats = stats != nullptr ? &stats->greedy : nullptr;
+  ParallelStats* parallel_stats =
+      stats != nullptr ? &stats->parallel : nullptr;
+
+  auto run = [&]() -> Result<PtaResult> {
+    switch (engine) {
+      case Engine::kExactDp:
+        return sequential != nullptr ? ExecExactOverSequential(*this)
+                                     : ExecExactOverRelation(*this);
+      case Engine::kGreedy:
+        return sequential != nullptr
+                   ? ExecGreedyOverSequential(*this, greedy_stats)
+                   : ExecGreedyOverRelation(*this, greedy_stats);
+      case Engine::kParallel:
+        return sequential != nullptr
+                   ? ExecParallelOverSequential(*this, parallel_stats)
+                   : ExecParallelOverRelation(*this, parallel_stats);
+      case Engine::kStreaming:
+        return Status::InvalidArgument(
+            "a streaming plan has no batch execution; bind it with "
+            "PtaQuery::Start() (pta/stream_api.h, link pta_stream)");
+      case Engine::kAuto:
+        break;
+    }
+    return Status::InvalidArgument(
+        "plan has an unresolved engine; build plans with PtaQuery::Plan()");
+  };
+
+  auto out = run();
+  if (stats != nullptr) {
+    stats->engine = engine;
+    stats->run_seconds = watch.ElapsedSeconds();
+  }
+  return out;
+}
+
+}  // namespace pta

@@ -1,0 +1,197 @@
+// The PTA query plan: one validated, engine-resolved description of a PTA
+// run, shared by every public entry point.
+//
+// The paper defines a single operator — PTA under a size bound c (Def. 6)
+// or an error bound ε (Def. 7) — that this repo evaluates with four
+// backends: the exact dynamic programs (pta/dp.h), the streaming greedy
+// reducers (pta/greedy.h), the group-sharded parallel engine
+// (pta/parallel.h), and the online streaming engines (src/stream/). A
+// PtaPlan separates the *what* (input, ItaSpec, Budget) from the *how*
+// (Engine + per-engine tuning): planning validates the spec once — weight
+// arity, budget range, group-by/schema mismatches — with consistent
+// Status codes, resolves Engine::kAuto, and lowers to the chosen backend;
+// Execute() then runs it. PtaQuery (pta/query.h) is the fluent builder
+// that produces plans, and the legacy free functions in pta/pta.h are thin
+// wrappers over the same path.
+
+#ifndef PTA_PTA_PLAN_H_
+#define PTA_PTA_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ita.h"
+#include "pta/greedy.h"
+#include "pta/parallel.h"
+#include "pta/segment.h"
+#include "pta/stream_options.h"
+#include "util/status.h"
+
+namespace pta {
+
+/// \brief The evaluation backends a PTA query can lower to.
+enum class Engine {
+  /// The exact PTAc / PTAε dynamic programs of Sec. 5 (pta/dp.h).
+  kExactDp = 0,
+  /// The streaming greedy gPTAc / gPTAε reducers of Sec. 6 (pta/greedy.h).
+  kGreedy,
+  /// The group-sharded greedy engine on a thread pool (pta/parallel.h).
+  kParallel,
+  /// The online engines (src/stream/); run via PtaQuery::Start(), which
+  /// returns a bound StreamingQuery handle (pta/stream_api.h).
+  kStreaming,
+  /// Planner's choice: kParallel when parallel tuning was given, else
+  /// kExactDp for small inputs and kGreedy beyond kAutoExactDpMaxInput.
+  kAuto,
+};
+
+/// Human-readable engine name ("exact_dp", "greedy", ...).
+const char* EngineName(Engine engine);
+
+/// Largest input (base tuples or pre-aggregated segments) for which
+/// Engine::kAuto picks the exact dynamic program over the greedy reducer.
+inline constexpr size_t kAutoExactDpMaxInput = 4096;
+
+/// \brief The reduction budget of a PTA query: size-bounded (Def. 6) or
+/// relative-error-bounded (Def. 7).
+///
+/// Construct with the static factories: `Budget::Size(100)` keeps at most
+/// 100 tuples; `Budget::RelativeError(0.05)` keeps the introduced SSE
+/// within 5% of the largest possible error Emax. A default-constructed
+/// Budget is invalid (size 0) and rejected by the planner.
+class Budget {
+ public:
+  enum class Kind { kSize = 0, kRelativeError };
+
+  Budget() = default;
+
+  static Budget Size(size_t c) {
+    Budget b;
+    b.kind_ = Kind::kSize;
+    b.size_ = c;
+    return b;
+  }
+  static Budget RelativeError(double eps) {
+    Budget b;
+    b.kind_ = Kind::kRelativeError;
+    b.eps_ = eps;
+    return b;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_size() const { return kind_ == Kind::kSize; }
+  /// The size bound c; meaningful only when is_size().
+  size_t size() const { return size_; }
+  /// The relative error bound in [0, 1]; meaningful only when !is_size().
+  double relative_error() const { return eps_; }
+
+ private:
+  Kind kind_ = Kind::kSize;
+  size_t size_ = 0;
+  double eps_ = 0.0;
+};
+
+/// \brief Options for exact (DP-based) PTA evaluation.
+struct PtaOptions {
+  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
+  std::vector<double> weights;
+  /// The Sec. 5.3 gap/group pruning; disabling yields the plain DP scheme.
+  bool use_pruning = true;
+  /// The Sec. 5.4 early break of the inner DP loop.
+  bool use_early_break = true;
+  /// Future-work extension (Sec. 8): merge across temporal gaps.
+  bool merge_across_gaps = false;
+};
+
+/// \brief Options for greedy (streaming) PTA evaluation.
+struct GreedyPtaOptions {
+  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
+  std::vector<double> weights;
+  /// Read-ahead depth (Sec. 6.2.1); see GreedyOptions::delta.
+  size_t delta = 1;
+  /// Future-work extension (Sec. 8): merge across temporal gaps.
+  bool merge_across_gaps = false;
+
+  // --- gPTAε estimation knobs (ignored by size-bounded runs and by the
+  // parallel engine, which estimates per shard instead — see
+  // ParallelOptions::budget_sample_fraction) ---
+  /// Êmax override; negative means "estimate by sampling the input".
+  double estimated_max_error = -1.0;
+  /// n̂ override; 0 means the paper's bound 2|r| - 1.
+  size_t estimated_n = 0;
+  /// Fraction of input tuples sampled for the Êmax estimate.
+  double sample_fraction = 0.05;
+  /// Seed of the deterministic sampler.
+  uint64_t sample_seed = 42;
+};
+
+/// \brief The outcome of a PTA query.
+struct PtaResult {
+  /// The reduced relation; group keys and value names are attached, so
+  /// `relation.ToTemporalRelation(group_schema)` yields displayable tuples.
+  SequentialRelation relation;
+  /// Total SSE (Def. 5) introduced by the reduction.
+  double error = 0.0;
+  /// Size of the intermediate ITA result.
+  size_t ita_size = 0;
+};
+
+/// \brief Unified observability of one PTA run, subsuming the per-engine
+/// GreedyStats / ParallelStats counters.
+struct PtaRunStats {
+  /// The engine that actually ran (kAuto resolved by the planner).
+  Engine engine = Engine::kAuto;
+  /// Wall time of validation + lowering (the planner's overhead).
+  double plan_seconds = 0.0;
+  /// Wall time of the backend execution.
+  double run_seconds = 0.0;
+  /// Filled by Engine::kGreedy runs.
+  GreedyStats greedy;
+  /// Filled by Engine::kParallel runs (includes per-shard GreedyStats).
+  ParallelStats parallel;
+};
+
+/// \brief A validated, engine-resolved PTA query, ready to execute.
+///
+/// Produced by PtaQuery::Plan() — construct plans through the builder, not
+/// by hand; Execute() trusts the planner's validation. Exactly one input
+/// binding is set: `relation` (ITA runs first), `sequential` (the input is
+/// already a sequential relation; ITA is skipped), or `stream_arity > 0`
+/// (a relation-less streaming query, driven through StreamingQuery).
+/// The bound input must outlive the plan.
+struct PtaPlan {
+  const TemporalRelation* relation = nullptr;
+  const SequentialRelation* sequential = nullptr;
+  /// Aggregate arity of a relation-less streaming query; 0 otherwise.
+  size_t stream_arity = 0;
+
+  /// The query spec (group-by + aggregates); empty for pre-aggregated and
+  /// relation-less inputs.
+  ItaSpec spec;
+  Budget budget;
+  /// The resolved engine; never kAuto in a planned query.
+  Engine engine = Engine::kGreedy;
+  /// True when the query carried explicit parallel tuning — a streaming
+  /// plan then binds a ShardedStreamingEngine instead of a single engine.
+  bool shard_streaming = false;
+
+  // Per-engine tuning; the planner has already injected the effective
+  // weights and (for streaming) the size budget.
+  PtaOptions exact;
+  GreedyPtaOptions greedy;
+  ParallelOptions parallel;
+  StreamingOptions streaming;
+
+  /// Aggregate values per result tuple (the paper's p).
+  size_t num_aggregates() const;
+
+  /// Runs the plan on its batch backend. Streaming plans cannot Execute —
+  /// they have no single return value; bind them with PtaQuery::Start().
+  Result<PtaResult> Execute(PtaRunStats* stats = nullptr) const;
+};
+
+}  // namespace pta
+
+#endif  // PTA_PTA_PLAN_H_

@@ -1,187 +1,78 @@
-#include "pta/pta.h"
+// The legacy one-call entry points, kept as thin wrappers over the query
+// planner (pta/plan.h): each builds the equivalent PtaQuery, runs it, and
+// forwards the engine-specific stats. Results are byte-identical to the
+// pre-builder implementations — the planner lowers to the same backends
+// with the same option plumbing.
 
-#include "util/random.h"
-#include "util/thread_pool.h"
+#include "pta/pta.h"
 
 namespace pta {
 
-namespace {
-
-// Counts segments as they pass through, so the greedy wrappers can report
-// the ITA result size without materializing it.
-class CountingSource : public SegmentSource {
- public:
-  explicit CountingSource(SegmentSource& inner) : inner_(&inner) {}
-  size_t num_aggregates() const override { return inner_->num_aggregates(); }
-  bool Next(Segment* out) override {
-    if (!inner_->Next(out)) return false;
-    ++count_;
-    return true;
-  }
-  size_t count() const { return count_; }
-
- private:
-  SegmentSource* inner_;
-  size_t count_ = 0;
-};
-
-// Estimates Emax by evaluating ITA over a Bernoulli sample of the input and
-// scaling the sample's maximal error by the inverse sampling rate
-// (Sec. 6.3's sampling suggestion).
-Result<double> EstimateMaxError(const TemporalRelation& rel,
-                                const ItaSpec& spec,
-                                const GreedyPtaOptions& options) {
-  const double q = options.sample_fraction;
-  if (q <= 0.0 || q > 1.0) {
-    return Status::InvalidArgument("sample_fraction must be in (0, 1]");
-  }
-  TemporalRelation sample(rel.schema());
-  Random rng(options.sample_seed);
-  for (const Tuple& t : rel.tuples()) {
-    if (rng.Bernoulli(q)) sample.InsertUnchecked(t);
-  }
-  if (sample.empty()) return 0.0;
-  auto ita = Ita(sample, spec);
-  if (!ita.ok()) return ita.status();
-  const ErrorContext ctx(*ita, options.weights, options.merge_across_gaps);
-  return ctx.MaxError() / q;
-}
-
-}  // namespace
-
 Result<PtaResult> PtaBySize(const TemporalRelation& rel, const ItaSpec& spec,
                             size_t c, const PtaOptions& options) {
-  auto ita = Ita(rel, spec);
-  if (!ita.ok()) return ita.status();
-  DpOptions dp_options{options.weights, options.use_pruning,
-                       options.use_early_break, options.merge_across_gaps};
-  auto reduced = ReduceToSizeDp(*ita, c, dp_options);
-  if (!reduced.ok()) return reduced.status();
-  PtaResult out;
-  out.ita_size = ita->size();
-  out.error = reduced->error;
-  out.relation = std::move(reduced->relation);
-  return out;
+  return PtaQuery::Over(rel)
+      .Spec(spec)
+      .Budget(Budget::Size(c))
+      .Engine(Engine::kExactDp)
+      .Exact(options)
+      .Run();
 }
 
 Result<PtaResult> PtaByError(const TemporalRelation& rel, const ItaSpec& spec,
                              double eps, const PtaOptions& options) {
-  auto ita = Ita(rel, spec);
-  if (!ita.ok()) return ita.status();
-  DpOptions dp_options{options.weights, options.use_pruning,
-                       options.use_early_break, options.merge_across_gaps};
-  auto reduced = ReduceToErrorDp(*ita, eps, dp_options);
-  if (!reduced.ok()) return reduced.status();
-  PtaResult out;
-  out.ita_size = ita->size();
-  out.error = reduced->error;
-  out.relation = std::move(reduced->relation);
-  return out;
+  return PtaQuery::Over(rel)
+      .Spec(spec)
+      .Budget(Budget::RelativeError(eps))
+      .Engine(Engine::kExactDp)
+      .Exact(options)
+      .Run();
 }
 
 Result<PtaResult> GreedyPtaBySize(const TemporalRelation& rel,
                                   const ItaSpec& spec, size_t c,
                                   const GreedyPtaOptions& options,
                                   GreedyStats* stats) {
-  auto stream = ItaStream::Create(rel, spec);
-  if (!stream.ok()) return stream.status();
-  CountingSource source(**stream);
-  GreedyOptions greedy{options.weights, options.delta,
-                       options.merge_across_gaps};
-  auto reduced = GreedyReduceToSize(source, c, greedy, stats);
-  if (!reduced.ok()) return reduced.status();
-  PtaResult out;
-  out.ita_size = source.count();
-  out.error = reduced->error;
-  out.relation = std::move(reduced->relation);
-  out.relation.SetGroupKeys((*stream)->group_keys());
-  out.relation.SetValueNames((*stream)->value_names());
-  return out;
+  PtaRunStats run_stats;
+  auto result = PtaQuery::Over(rel)
+                    .Spec(spec)
+                    .Budget(Budget::Size(c))
+                    .Engine(Engine::kGreedy)
+                    .Greedy(options)
+                    .Run(&run_stats);
+  if (stats != nullptr) *stats = run_stats.greedy;
+  return result;
 }
 
 Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
                                    const ItaSpec& spec, double eps,
                                    const GreedyPtaOptions& options,
                                    GreedyStats* stats) {
-  GreedyErrorEstimates estimates;
-  // The ITA result of |r| tuples has at most 2|r| - 1 tuples (Sec. 3).
-  estimates.estimated_n = options.estimated_n > 0
-                              ? options.estimated_n
-                              : (rel.empty() ? 1 : 2 * rel.size() - 1);
-  if (options.estimated_max_error >= 0.0) {
-    estimates.estimated_max_error = options.estimated_max_error;
-  } else {
-    auto est = EstimateMaxError(rel, spec, options);
-    if (!est.ok()) return est.status();
-    estimates.estimated_max_error = *est;
-  }
-
-  auto stream = ItaStream::Create(rel, spec);
-  if (!stream.ok()) return stream.status();
-  CountingSource source(**stream);
-  GreedyOptions greedy{options.weights, options.delta,
-                       options.merge_across_gaps};
-  auto reduced = GreedyReduceToError(source, eps, estimates, greedy, stats);
-  if (!reduced.ok()) return reduced.status();
-  PtaResult out;
-  out.ita_size = source.count();
-  out.error = reduced->error;
-  out.relation = std::move(reduced->relation);
-  out.relation.SetGroupKeys((*stream)->group_keys());
-  out.relation.SetValueNames((*stream)->value_names());
-  return out;
+  PtaRunStats run_stats;
+  auto result = PtaQuery::Over(rel)
+                    .Spec(spec)
+                    .Budget(Budget::RelativeError(eps))
+                    .Engine(Engine::kGreedy)
+                    .Greedy(options)
+                    .Run(&run_stats);
+  if (stats != nullptr) *stats = run_stats.greedy;
+  return result;
 }
-
-namespace {
-
-// Shared front half of the parallel wrappers: evaluate ITA as a stream and
-// scatter it into per-shard sequential relations by stable group hash.
-Result<ShardedSegmentSource> ShardIta(ItaStream& stream, const ItaSpec& spec,
-                                      const ParallelOptions& parallel) {
-  size_t num_shards = parallel.num_shards;
-  if (num_shards == 0) {
-    num_shards = parallel.num_threads == 0 ? ThreadPool::DefaultThreadCount()
-                                           : parallel.num_threads;
-  }
-  auto shard_map = GroupShardMap(stream.group_keys(), spec.group_by,
-                                 parallel.shard_by, num_shards);
-  if (!shard_map.ok()) return shard_map.status();
-  return ShardedSegmentSource::Partition(stream, num_shards, *shard_map);
-}
-
-ParallelReduceOptions ToReduceOptions(const ParallelOptions& parallel,
-                                      const GreedyPtaOptions& options) {
-  ParallelReduceOptions reduce;
-  reduce.num_threads = parallel.num_threads;
-  reduce.greedy =
-      GreedyOptions{options.weights, options.delta, options.merge_across_gaps};
-  reduce.budget_sample_fraction = parallel.budget_sample_fraction;
-  reduce.budget_sample_seed = parallel.budget_sample_seed;
-  return reduce;
-}
-
-}  // namespace
 
 Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
                                           const ItaSpec& spec, size_t c,
                                           const ParallelOptions& parallel,
                                           const GreedyPtaOptions& options,
                                           ParallelStats* stats) {
-  auto stream = ItaStream::Create(rel, spec);
-  if (!stream.ok()) return stream.status();
-  auto shards = ShardIta(**stream, spec, parallel);
-  if (!shards.ok()) return shards.status();
-  auto reduced =
-      ParallelReduceToSize(*shards, c, ToReduceOptions(parallel, options),
-                           stats);
-  if (!reduced.ok()) return reduced.status();
-  PtaResult out;
-  out.ita_size = shards->total_size();
-  out.error = reduced->error;
-  out.relation = std::move(reduced->relation);
-  out.relation.SetGroupKeys((*stream)->group_keys());
-  out.relation.SetValueNames((*stream)->value_names());
-  return out;
+  PtaRunStats run_stats;
+  auto result = PtaQuery::Over(rel)
+                    .Spec(spec)
+                    .Budget(Budget::Size(c))
+                    .Engine(Engine::kParallel)
+                    .Parallel(parallel)
+                    .Greedy(options)
+                    .Run(&run_stats);
+  if (stats != nullptr) *stats = run_stats.parallel;
+  return result;
 }
 
 Result<PtaResult> ParallelGreedyPtaByError(const TemporalRelation& rel,
@@ -189,21 +80,16 @@ Result<PtaResult> ParallelGreedyPtaByError(const TemporalRelation& rel,
                                            const ParallelOptions& parallel,
                                            const GreedyPtaOptions& options,
                                            ParallelStats* stats) {
-  auto stream = ItaStream::Create(rel, spec);
-  if (!stream.ok()) return stream.status();
-  auto shards = ShardIta(**stream, spec, parallel);
-  if (!shards.ok()) return shards.status();
-  auto reduced =
-      ParallelReduceToError(*shards, eps, ToReduceOptions(parallel, options),
-                            stats);
-  if (!reduced.ok()) return reduced.status();
-  PtaResult out;
-  out.ita_size = shards->total_size();
-  out.error = reduced->error;
-  out.relation = std::move(reduced->relation);
-  out.relation.SetGroupKeys((*stream)->group_keys());
-  out.relation.SetValueNames((*stream)->value_names());
-  return out;
+  PtaRunStats run_stats;
+  auto result = PtaQuery::Over(rel)
+                    .Spec(spec)
+                    .Budget(Budget::RelativeError(eps))
+                    .Engine(Engine::kParallel)
+                    .Parallel(parallel)
+                    .Greedy(options)
+                    .Run(&run_stats);
+  if (stats != nullptr) *stats = run_stats.parallel;
+  return result;
 }
 
 }  // namespace pta

@@ -1,17 +1,27 @@
-// Parsimonious temporal aggregation — the one-call public API.
+// Parsimonious temporal aggregation — the batch public API.
 //
 // PTA (Def. 6/7) evaluates ITA over the argument relation, then reduces the
 // ITA result by merging adjacent tuples until a size bound c or error bound
-// eps is met:
+// eps is met. The primary surface is the PtaQuery builder (pta/query.h),
+// which this header re-exports:
 //
-//   auto result = PtaBySize(proj, {.group_by = {"Proj"},
-//                                  .aggregates = {Avg("Sal", "AvgSal")}},
-//                           /*c=*/4);
+//   auto result = PtaQuery::Over(proj)
+//                     .GroupBy("Proj")
+//                     .Aggregate(Avg("Sal", "AvgSal"))
+//                     .Budget(Budget::Size(4))
+//                     .Run();
 //
-// Exact evaluation uses the dynamic programs of Sec. 5 (PTAc / PTAε);
-// GreedyPtaBySize / GreedyPtaByError use the streaming greedy algorithms of
-// Sec. 6 (gPTAc / gPTAε), which scale to very large inputs at a bounded,
-// experimentally small, loss of precision.
+// The planner (pta/plan.h) validates the query once and lowers it to the
+// exact dynamic programs of Sec. 5 (Engine::kExactDp), the streaming
+// greedy algorithms of Sec. 6 (Engine::kGreedy), or the group-sharded
+// parallel engine (Engine::kParallel). The free functions below predate
+// the builder; they are thin wrappers over the same planner, kept
+// byte-identical for existing callers — prefer PtaQuery in new code
+// (docs/API.md has the migration table).
+//
+// The online surface (StreamingQuery and the engines it wraps) lives in
+// pta/stream_api.h and the pta_stream library; this header and the
+// entry points below need pta_algo only.
 
 #ifndef PTA_PTA_PTA_H_
 #define PTA_PTA_PTA_H_
@@ -24,72 +34,29 @@
 #include "pta/dp.h"
 #include "pta/greedy.h"
 #include "pta/parallel.h"
-// The online surface (StreamingPtaEngine::IngestChunk/Snapshot/Finalize
-// and the per-group-shard ShardedStreamingEngine). Declared under
-// src/stream/ and built as the pta_stream library — link it when using
-// these types; the batch entry points below need pta_algo only.
-#include "stream/sharded_stream.h"
-#include "stream/stream.h"
+#include "pta/plan.h"
+#include "pta/query.h"
 #include "util/status.h"
 
 namespace pta {
 
-/// \brief Options for exact (DP-based) PTA evaluation.
-struct PtaOptions {
-  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
-  std::vector<double> weights;
-  /// The Sec. 5.3 gap/group pruning; disabling yields the plain DP scheme.
-  bool use_pruning = true;
-  /// The Sec. 5.4 early break of the inner DP loop.
-  bool use_early_break = true;
-  /// Future-work extension (Sec. 8): merge across temporal gaps.
-  bool merge_across_gaps = false;
-};
-
-/// \brief Options for greedy (streaming) PTA evaluation.
-struct GreedyPtaOptions {
-  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
-  std::vector<double> weights;
-  /// Read-ahead depth (Sec. 6.2.1); see GreedyOptions::delta.
-  size_t delta = 1;
-  /// Future-work extension (Sec. 8): merge across temporal gaps.
-  bool merge_across_gaps = false;
-
-  // --- gPTAε estimation knobs (ignored by GreedyPtaBySize and by the
-  // Parallel* variants, which estimate per shard instead — see
-  // ParallelOptions::budget_sample_fraction) ---
-  /// Êmax override; negative means "estimate by sampling the input".
-  double estimated_max_error = -1.0;
-  /// n̂ override; 0 means the paper's bound 2|r| - 1.
-  size_t estimated_n = 0;
-  /// Fraction of input tuples sampled for the Êmax estimate.
-  double sample_fraction = 0.05;
-  /// Seed of the deterministic sampler.
-  uint64_t sample_seed = 42;
-};
-
-/// \brief The outcome of a PTA query.
-struct PtaResult {
-  /// The reduced relation; group keys and value names are attached, so
-  /// `relation.ToTemporalRelation(group_schema)` yields displayable tuples.
-  SequentialRelation relation;
-  /// Total SSE (Def. 5) introduced by the reduction.
-  double error = 0.0;
-  /// Size of the intermediate ITA result.
-  size_t ita_size = 0;
-};
+// PtaOptions, GreedyPtaOptions, and PtaResult are declared in pta/plan.h
+// (included above); ParallelOptions in pta/parallel.h.
 
 /// Size-bounded PTA (Def. 6), exact: ITA followed by PTAc.
+/// Wrapper over `PtaQuery...Engine(Engine::kExactDp)`.
 Result<PtaResult> PtaBySize(const TemporalRelation& rel, const ItaSpec& spec,
                             size_t c, const PtaOptions& options = {});
 
 /// Error-bounded PTA (Def. 7), exact: ITA followed by PTAε.
 /// eps in [0, 1] scales the largest possible error SSEmax.
+/// Wrapper over `PtaQuery...Engine(Engine::kExactDp)`.
 Result<PtaResult> PtaByError(const TemporalRelation& rel, const ItaSpec& spec,
                              double eps, const PtaOptions& options = {});
 
 /// Size-bounded PTA, greedy and streaming: ITA tuples are merged as they
 /// are produced (gPTAc); memory stays at O(c + beta).
+/// Wrapper over `PtaQuery...Engine(Engine::kGreedy)`.
 Result<PtaResult> GreedyPtaBySize(const TemporalRelation& rel,
                                   const ItaSpec& spec, size_t c,
                                   const GreedyPtaOptions& options = {},
@@ -98,17 +65,15 @@ Result<PtaResult> GreedyPtaBySize(const TemporalRelation& rel,
 /// Error-bounded PTA, greedy and streaming (gPTAε). Unless overridden in
 /// the options, n̂ = 2|r|-1 and Êmax is estimated from a deterministic
 /// sample of the input (Sec. 6.3).
+/// Wrapper over `PtaQuery...Engine(Engine::kGreedy)`.
 Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
                                    const ItaSpec& spec, double eps,
                                    const GreedyPtaOptions& options = {},
                                    GreedyStats* stats = nullptr);
 
-// ParallelOptions (the knobs shared by the wrappers below and by the
-// streaming composition in stream/sharded_stream.h) is declared in
-// pta/parallel.h, which this header includes.
-
 /// Size-bounded PTA, greedy, group-sharded and multi-threaded: gPTAc per
 /// shard under a budget split proportional to per-shard estimated error.
+/// Wrapper over `PtaQuery...Engine(Engine::kParallel)`.
 Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
                                           const ItaSpec& spec, size_t c,
                                           const ParallelOptions& parallel = {},
@@ -117,6 +82,7 @@ Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
 
 /// Error-bounded PTA, greedy, group-sharded and multi-threaded: gPTAε per
 /// shard, each against its own (estimated) maximal error.
+/// Wrapper over `PtaQuery...Engine(Engine::kParallel)`.
 Result<PtaResult> ParallelGreedyPtaByError(
     const TemporalRelation& rel, const ItaSpec& spec, double eps,
     const ParallelOptions& parallel = {}, const GreedyPtaOptions& options = {},

@@ -49,30 +49,12 @@
 #include "pta/error.h"
 #include "pta/greedy.h"
 #include "pta/segment.h"
+// StreamingOptions lives in the pta layer so the query planner can carry
+// streaming tuning without depending on this library.
+#include "pta/stream_options.h"
 #include "util/status.h"
 
 namespace pta {
-
-/// \brief Configuration of one streaming engine.
-struct StreamingOptions {
-  /// Size budget c: the engine merges (under the gPTAc safety conditions)
-  /// whenever more than this many *live* rows exist. Must be positive.
-  size_t size_budget = 1024;
-  /// Per-dimension error weights w_d (Def. 5); empty means all ones.
-  std::vector<double> weights;
-  /// Read-ahead depth δ (Sec. 6.2.1); see GreedyOptions::delta. Gates
-  /// ingest-time merges only while the watermark is disabled (the
-  /// byte-identical mode); afterwards budget pressure merges eagerly.
-  size_t delta = 1;
-  /// Future-work extension (Sec. 8): merge same-group rows across gaps.
-  bool merge_across_gaps = false;
-  /// When >= 0, IngestChunk auto-advances the watermark to
-  /// (max segment begin seen) - auto_watermark_lag after every chunk, so
-  /// callers get emission without managing watermarks by hand. The lag must
-  /// cover the cross-group skew of the feed. Negative disables (manual
-  /// AdvanceWatermark only — the byte-identical-to-batch mode).
-  int64_t auto_watermark_lag = -1;
-};
 
 /// \brief Observability counters of one streaming engine.
 struct StreamingStats {

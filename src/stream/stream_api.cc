@@ -1,0 +1,124 @@
+// Implements the streaming side of the query surface: StreamingQuery and
+// PtaQuery::Start(). Lives in pta_stream (not pta_algo) so the batch
+// surface carries no link-time dependency on the online engines.
+
+#include "pta/stream_api.h"
+
+#include <utility>
+
+namespace pta {
+
+Result<StreamingQuery> PtaQuery::Start() const {
+  return StreamingQuery::Start(*this);
+}
+
+Result<StreamingQuery> StreamingQuery::Start(const PtaQuery& query) {
+  auto plan = query.Plan();
+  if (!plan.ok()) return plan.status();
+  if (plan->engine != Engine::kStreaming) {
+    return Status::InvalidArgument(
+        "not a streaming plan; pass Engine::kStreaming or start from "
+        "PtaQuery::Stream(p)");
+  }
+  const size_t p = plan->num_aggregates();
+
+  StreamingQuery sq;
+  for (const AggregateSpec& agg : plan->spec.aggregates) {
+    sq.value_names_.push_back(agg.output_name);
+  }
+  if (plan->shard_streaming) {
+    sq.sharded_ = std::make_unique<ShardedStreamingEngine>(p, plan->streaming,
+                                                           plan->parallel);
+  } else {
+    sq.single_ = std::make_unique<StreamingPtaEngine>(p, plan->streaming);
+  }
+  return sq;
+}
+
+size_t StreamingQuery::num_aggregates() const {
+  if (sharded_ != nullptr) return sharded_->num_aggregates();
+  if (single_ != nullptr) return single_->num_aggregates();
+  return 0;
+}
+
+size_t StreamingQuery::num_shards() const {
+  return sharded_ != nullptr ? sharded_->num_shards() : (started() ? 1 : 0);
+}
+
+Status StreamingQuery::RequireStarted() const {
+  if (!started()) {
+    return Status::FailedPrecondition(
+        "StreamingQuery is unbound; obtain one from PtaQuery::Start()");
+  }
+  return Status::Ok();
+}
+
+SequentialRelation StreamingQuery::WithNames(SequentialRelation rel) const {
+  if (!value_names_.empty() && value_names_.size() == rel.num_aggregates()) {
+    rel.SetValueNames(value_names_);
+  }
+  return rel;
+}
+
+Status StreamingQuery::Ingest(const Segment& seg) {
+  PTA_RETURN_IF_ERROR(RequireStarted());
+  if (single_ != nullptr) return single_->Ingest(seg);
+  SequentialRelation chunk(sharded_->num_aggregates());
+  chunk.Append(seg);
+  return sharded_->IngestChunk(chunk);
+}
+
+Status StreamingQuery::IngestChunk(const SequentialRelation& chunk) {
+  PTA_RETURN_IF_ERROR(RequireStarted());
+  return single_ != nullptr ? single_->IngestChunk(chunk)
+                            : sharded_->IngestChunk(chunk);
+}
+
+Status StreamingQuery::AdvanceWatermark(Chronon watermark) {
+  PTA_RETURN_IF_ERROR(RequireStarted());
+  return single_ != nullptr ? single_->AdvanceWatermark(watermark)
+                            : sharded_->AdvanceWatermark(watermark);
+}
+
+SequentialRelation StreamingQuery::TakeEmitted() {
+  if (!started()) return SequentialRelation();
+  return WithNames(single_ != nullptr ? single_->TakeEmitted()
+                                      : sharded_->TakeEmitted());
+}
+
+SequentialRelation StreamingQuery::Snapshot() const {
+  if (!started()) return SequentialRelation();
+  return WithNames(single_ != nullptr ? single_->Snapshot()
+                                      : sharded_->Snapshot());
+}
+
+Result<SequentialRelation> StreamingQuery::Finalize() {
+  PTA_RETURN_IF_ERROR(RequireStarted());
+  auto out = single_ != nullptr ? single_->Finalize() : sharded_->Finalize();
+  if (!out.ok()) return out.status();
+  return WithNames(std::move(out).value());
+}
+
+size_t StreamingQuery::live_rows() const {
+  if (!started()) return 0;
+  return single_ != nullptr ? single_->live_rows() : sharded_->live_rows();
+}
+
+size_t StreamingQuery::pending_rows() const {
+  if (!started()) return 0;
+  return single_ != nullptr ? single_->pending_rows()
+                            : sharded_->pending_rows();
+}
+
+double StreamingQuery::total_error() const {
+  if (!started()) return 0.0;
+  return single_ != nullptr ? single_->total_error()
+                            : sharded_->total_error();
+}
+
+StreamingStats StreamingQuery::stats() const {
+  if (!started()) return StreamingStats{};
+  return single_ != nullptr ? single_->stats() : sharded_->AggregateStats();
+}
+
+}  // namespace pta

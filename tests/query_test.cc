@@ -1,0 +1,449 @@
+// The unified query surface (pta/query.h + pta/plan.h + pta/stream_api.h):
+//  * builder-vs-legacy equivalence — PtaQuery output is byte-identical to
+//    PtaBySize / PtaByError / GreedyPtaBySize / GreedyPtaByError /
+//    ParallelGreedyPtaBySize / ParallelGreedyPtaByError and to a
+//    streaming replay, for the same spec;
+//  * planner validation — budget range, spec/schema mismatches, and the
+//    uniform weights check, one regression test per engine;
+//  * engine resolution (kAuto) and the plan/execute split.
+
+#include "pta/query.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datasets/synthetic.h"
+#include "pta/pta.h"
+#include "pta/stream_api.h"
+#include "test_util.h"
+
+namespace pta {
+namespace {
+
+using testing::MakeProjRelation;
+
+ItaSpec ProjAvgSpec() { return {{"Proj"}, {Avg("Sal", "AvgSal")}}; }
+
+// A multi-group, two-dimensional relation big enough that greedy/parallel
+// runs do real merging work.
+TemporalRelation MakeFleet() {
+  SyntheticOptions options;
+  options.num_tuples = 1500;
+  options.num_dims = 2;
+  options.num_groups = 12;
+  options.max_duration = 20;
+  options.time_span = 400;
+  options.seed = 99;
+  return GenerateSyntheticRelation(options);
+}
+
+ItaSpec FleetSpec() {
+  return {{"G"}, {Avg("A1", "Avg1"), Avg("A2", "Avg2")}};
+}
+
+void ExpectByteIdentical(const SequentialRelation& a,
+                         const SequentialRelation& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_aggregates(), b.num_aggregates());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.group(i), b.group(i)) << "segment " << i;
+    EXPECT_EQ(a.interval(i), b.interval(i)) << "segment " << i;
+    for (size_t d = 0; d < a.num_aggregates(); ++d) {
+      EXPECT_EQ(a.value(i, d), b.value(i, d))
+          << "segment " << i << " dim " << d;
+    }
+  }
+}
+
+void ExpectSameResult(const Result<PtaResult>& built,
+                      const Result<PtaResult>& legacy) {
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  ExpectByteIdentical(built->relation, legacy->relation);
+  EXPECT_EQ(built->error, legacy->error);
+  EXPECT_EQ(built->ita_size, legacy->ita_size);
+}
+
+// ---- builder vs legacy, engine by engine -------------------------------
+
+TEST(QueryEquivalenceTest, ExactDpBySizeMatchesLegacy) {
+  const TemporalRelation fleet = MakeFleet();
+  const auto built = PtaQuery::Over(fleet)
+                         .Spec(FleetSpec())
+                         .Budget(Budget::Size(64))
+                         .Engine(Engine::kExactDp)
+                         .Run();
+  ExpectSameResult(built, PtaBySize(fleet, FleetSpec(), 64));
+}
+
+TEST(QueryEquivalenceTest, ExactDpByErrorMatchesLegacy) {
+  const TemporalRelation fleet = MakeFleet();
+  const auto built = PtaQuery::Over(fleet)
+                         .Spec(FleetSpec())
+                         .Budget(Budget::RelativeError(0.1))
+                         .Engine(Engine::kExactDp)
+                         .Run();
+  ExpectSameResult(built, PtaByError(fleet, FleetSpec(), 0.1));
+}
+
+TEST(QueryEquivalenceTest, GreedyBySizeMatchesLegacy) {
+  const TemporalRelation fleet = MakeFleet();
+  PtaRunStats run_stats;
+  const auto built = PtaQuery::Over(fleet)
+                         .Spec(FleetSpec())
+                         .Budget(Budget::Size(64))
+                         .Engine(Engine::kGreedy)
+                         .Run(&run_stats);
+  GreedyStats legacy_stats;
+  const auto legacy =
+      GreedyPtaBySize(fleet, FleetSpec(), 64, {}, &legacy_stats);
+  ExpectSameResult(built, legacy);
+  // The unified stats carry the same greedy counters.
+  EXPECT_EQ(run_stats.engine, Engine::kGreedy);
+  EXPECT_EQ(run_stats.greedy.merges, legacy_stats.merges);
+  EXPECT_EQ(run_stats.greedy.max_heap_size, legacy_stats.max_heap_size);
+  EXPECT_EQ(run_stats.greedy.early_merges, legacy_stats.early_merges);
+}
+
+TEST(QueryEquivalenceTest, GreedyByErrorMatchesLegacy) {
+  const TemporalRelation fleet = MakeFleet();
+  GreedyPtaOptions tuning;
+  tuning.sample_fraction = 0.5;  // exercise the sampling estimator too
+  const auto built = PtaQuery::Over(fleet)
+                         .Spec(FleetSpec())
+                         .Budget(Budget::RelativeError(0.2))
+                         .Engine(Engine::kGreedy)
+                         .Greedy(tuning)
+                         .Run();
+  ExpectSameResult(built, GreedyPtaByError(fleet, FleetSpec(), 0.2, tuning));
+}
+
+TEST(QueryEquivalenceTest, ParallelBySizeMatchesLegacy) {
+  const TemporalRelation fleet = MakeFleet();
+  ParallelOptions parallel;
+  parallel.num_shards = 4;  // pinned: deterministic on any host
+  parallel.num_threads = 2;
+  PtaRunStats run_stats;
+  const auto built = PtaQuery::Over(fleet)
+                         .Spec(FleetSpec())
+                         .Budget(Budget::Size(64))
+                         .Engine(Engine::kParallel)
+                         .Parallel(parallel)
+                         .Run(&run_stats);
+  ParallelStats legacy_stats;
+  const auto legacy = ParallelGreedyPtaBySize(fleet, FleetSpec(), 64,
+                                              parallel, {}, &legacy_stats);
+  ExpectSameResult(built, legacy);
+  EXPECT_EQ(run_stats.engine, Engine::kParallel);
+  EXPECT_EQ(run_stats.parallel.num_shards, legacy_stats.num_shards);
+  EXPECT_EQ(run_stats.parallel.shard_budgets, legacy_stats.shard_budgets);
+}
+
+TEST(QueryEquivalenceTest, ParallelByErrorMatchesLegacy) {
+  const TemporalRelation fleet = MakeFleet();
+  ParallelOptions parallel;
+  parallel.num_shards = 4;
+  parallel.num_threads = 2;
+  const auto built = PtaQuery::Over(fleet)
+                         .Spec(FleetSpec())
+                         .Budget(Budget::RelativeError(0.2))
+                         .Engine(Engine::kParallel)
+                         .Parallel(parallel)
+                         .Run();
+  ExpectSameResult(
+      built, ParallelGreedyPtaByError(fleet, FleetSpec(), 0.2, parallel));
+}
+
+TEST(QueryEquivalenceTest, StreamingReplayMatchesGreedyBySize) {
+  // Replaying the materialized ITA result (group-then-time order, watermark
+  // off) through the streaming binding is byte-identical to batch gPTAc.
+  const TemporalRelation fleet = MakeFleet();
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+
+  auto replay = PtaQuery::Stream(/*num_aggregates=*/2)
+                    .Budget(Budget::Size(64))
+                    .Start();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  ASSERT_TRUE(replay->IngestChunk(*ita).ok());
+  auto streamed = replay->Finalize();
+  ASSERT_TRUE(streamed.ok());
+
+  const auto legacy = GreedyPtaBySize(fleet, FleetSpec(), 64);
+  ASSERT_TRUE(legacy.ok());
+  ExpectByteIdentical(*streamed, legacy->relation);
+  EXPECT_EQ(replay->total_error(), legacy->error);
+}
+
+TEST(QueryEquivalenceTest, ShardedStreamingReplayIsDeterministic) {
+  // With Parallel() tuning Start() binds one engine per group shard; for a
+  // pinned shard count the replay equals the single-engine replay of each
+  // group and is independent of the thread count.
+  const TemporalRelation fleet = MakeFleet();
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+
+  SequentialRelation reference;
+  for (const size_t threads : {1u, 3u}) {
+    ParallelOptions parallel;
+    parallel.num_shards = 3;
+    parallel.num_threads = threads;
+    auto replay = PtaQuery::Stream(2)
+                      .Budget(Budget::Size(64))
+                      .Parallel(parallel)
+                      .Start();
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_EQ(replay->num_shards(), 3u);
+    ASSERT_TRUE(replay->IngestChunk(*ita).ok());
+    auto streamed = replay->Finalize();
+    ASSERT_TRUE(streamed.ok());
+    if (threads == 1u) {
+      reference = std::move(*streamed);
+    } else {
+      ExpectByteIdentical(*streamed, reference);
+    }
+  }
+}
+
+TEST(QueryEquivalenceTest, OverSequentialMatchesDirectReducers) {
+  const TemporalRelation fleet = MakeFleet();
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+
+  const auto exact = PtaQuery::OverSequential(*ita)
+                         .Budget(Budget::Size(64))
+                         .Engine(Engine::kExactDp)
+                         .Run();
+  auto exact_direct = ReduceToSizeDp(*ita, 64);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(exact_direct.ok());
+  ExpectByteIdentical(exact->relation, exact_direct->relation);
+  EXPECT_EQ(exact->error, exact_direct->error);
+  EXPECT_EQ(exact->ita_size, ita->size());
+
+  const auto greedy = PtaQuery::OverSequential(*ita)
+                          .Budget(Budget::Size(64))
+                          .Engine(Engine::kGreedy)
+                          .Run();
+  RelationSegmentSource source(*ita);
+  auto greedy_direct = GreedyReduceToSize(source, 64);
+  ASSERT_TRUE(greedy.ok());
+  ASSERT_TRUE(greedy_direct.ok());
+  ExpectByteIdentical(greedy->relation, greedy_direct->relation);
+  EXPECT_EQ(greedy->error, greedy_direct->error);
+}
+
+// ---- planner: engine resolution and the plan/execute split -------------
+
+TEST(QueryPlanTest, AutoPicksExactDpForSmallInputs) {
+  const TemporalRelation proj = MakeProjRelation();
+  auto plan =
+      PtaQuery::Over(proj).Spec(ProjAvgSpec()).Budget(Budget::Size(4)).Plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->engine, Engine::kExactDp);
+  ExpectSameResult(plan->Execute(), PtaBySize(proj, ProjAvgSpec(), 4));
+}
+
+TEST(QueryPlanTest, AutoPicksParallelWhenTuned) {
+  const TemporalRelation proj = MakeProjRelation();
+  ParallelOptions parallel;
+  parallel.num_shards = 1;
+  auto plan = PtaQuery::Over(proj)
+                  .Spec(ProjAvgSpec())
+                  .Budget(Budget::Size(4))
+                  .Parallel(parallel)
+                  .Plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->engine, Engine::kParallel);
+}
+
+TEST(QueryPlanTest, AutoPicksGreedyBeyondTheDpThreshold) {
+  SyntheticOptions options;
+  options.num_tuples = kAutoExactDpMaxInput + 1;
+  options.num_groups = 4;
+  options.seed = 3;
+  const TemporalRelation big = GenerateSyntheticRelation(options);
+  auto plan = PtaQuery::Over(big)
+                  .GroupBy("G")
+                  .Aggregate(Avg("A1", "Avg1"))
+                  .Budget(Budget::Size(100))
+                  .Plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->engine, Engine::kGreedy);
+}
+
+TEST(QueryPlanTest, StreamSourceResolvesToStreamingEngine) {
+  auto plan = PtaQuery::Stream(2).Budget(Budget::Size(16)).Plan();
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->engine, Engine::kStreaming);
+  EXPECT_EQ(plan->num_aggregates(), 2u);
+  EXPECT_EQ(plan->streaming.size_budget, 16u);
+  // A streaming plan has no batch execution...
+  auto run = plan->Execute();
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  // ...and a batch plan has no streaming binding.
+  const TemporalRelation proj = MakeProjRelation();
+  auto start = PtaQuery::Over(proj)
+                   .Spec(ProjAvgSpec())
+                   .Budget(Budget::Size(4))
+                   .Engine(Engine::kGreedy)
+                   .Start();
+  ASSERT_FALSE(start.ok());
+  EXPECT_EQ(start.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryPlanTest, StreamingEngineRejectsPreBoundInputs) {
+  // A streaming engine never ingests a bound relation; accepting the
+  // combination would silently discard the data behind an OK handle.
+  const TemporalRelation proj = MakeProjRelation();
+  auto plan = PtaQuery::Over(proj)
+                  .Spec(ProjAvgSpec())
+                  .Budget(Budget::Size(4))
+                  .Engine(Engine::kStreaming)
+                  .Plan();
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+
+  auto ita = Ita(proj, ProjAvgSpec());
+  ASSERT_TRUE(ita.ok());
+  auto start = PtaQuery::OverSequential(*ita)
+                   .Budget(Budget::Size(4))
+                   .Engine(Engine::kStreaming)
+                   .Start();
+  ASSERT_FALSE(start.ok());
+  EXPECT_EQ(start.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryPlanTest, ValidatesBudgetAndSpec) {
+  const TemporalRelation proj = MakeProjRelation();
+  const auto invalid = [](const Result<PtaPlan>& plan) {
+    ASSERT_FALSE(plan.ok());
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  };
+  // No budget.
+  invalid(PtaQuery::Over(proj).Spec(ProjAvgSpec()).Plan());
+  // Zero size / out-of-range eps.
+  invalid(PtaQuery::Over(proj).Spec(ProjAvgSpec()).Budget(Budget::Size(0))
+              .Plan());
+  invalid(PtaQuery::Over(proj)
+              .Spec(ProjAvgSpec())
+              .Budget(Budget::RelativeError(1.5))
+              .Plan());
+  // Schema mismatches, one consistent code.
+  invalid(PtaQuery::Over(proj)
+              .GroupBy("Nope")
+              .Aggregate(Avg("Sal", "A"))
+              .Budget(Budget::Size(4))
+              .Plan());
+  invalid(PtaQuery::Over(proj)
+              .GroupBy("Proj")
+              .Aggregate(Avg("Nope", "A"))
+              .Budget(Budget::Size(4))
+              .Plan());
+  invalid(PtaQuery::Over(proj)
+              .GroupBy("Proj")
+              .Aggregate(Avg("Empl", "A"))  // non-numeric
+              .Budget(Budget::Size(4))
+              .Plan());
+  invalid(PtaQuery::Over(proj).GroupBy("Proj").Budget(Budget::Size(4))
+              .Plan());  // no aggregates
+  // The streaming engine is size-bounded.
+  invalid(PtaQuery::Stream(1).Budget(Budget::RelativeError(0.5)).Plan());
+  invalid(PtaQuery::Stream(0).Budget(Budget::Size(4)).Plan());
+}
+
+TEST(QueryPlanTest, UnboundStreamingQueryFailsGracefully) {
+  StreamingQuery unbound;
+  EXPECT_FALSE(unbound.started());
+  Segment seg;
+  seg.values = {1.0};
+  EXPECT_EQ(unbound.Ingest(seg).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(unbound.Finalize().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(unbound.live_rows(), 0u);
+}
+
+// ---- the uniform weights contract: one regression test per engine ------
+
+TEST(QueryWeightsValidationTest, ExactDpRejectsBadWeightsAsStatus) {
+  const TemporalRelation proj = MakeProjRelation();
+  PtaOptions options;
+  options.weights = {1.0, 2.0};  // arity 2, spec has 1 aggregate
+  auto legacy = PtaBySize(proj, ProjAvgSpec(), 4, options);
+  ASSERT_FALSE(legacy.ok());
+  EXPECT_EQ(legacy.status().code(), StatusCode::kInvalidArgument);
+
+  auto built = PtaQuery::Over(proj)
+                   .Spec(ProjAvgSpec())
+                   .Budget(Budget::Size(4))
+                   .Engine(Engine::kExactDp)
+                   .Weights({1.0, 2.0})
+                   .Run();
+  ASSERT_FALSE(built.ok());
+  EXPECT_EQ(built.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryWeightsValidationTest, GreedyRejectsBadWeightsAsStatus) {
+  const TemporalRelation proj = MakeProjRelation();
+  GreedyPtaOptions options;
+  options.weights = {1.0, 2.0};
+  auto by_size = GreedyPtaBySize(proj, ProjAvgSpec(), 4, options);
+  ASSERT_FALSE(by_size.ok());
+  EXPECT_EQ(by_size.status().code(), StatusCode::kInvalidArgument);
+  auto by_error = GreedyPtaByError(proj, ProjAvgSpec(), 0.5, options);
+  ASSERT_FALSE(by_error.ok());
+  EXPECT_EQ(by_error.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryWeightsValidationTest, ParallelRejectsBadWeightsAsStatus) {
+  const TemporalRelation proj = MakeProjRelation();
+  GreedyPtaOptions options;
+  options.weights = {1.0, 2.0};
+  auto result = ParallelGreedyPtaBySize(proj, ProjAvgSpec(), 4, {}, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryWeightsValidationTest, StreamingRejectsBadWeightsAsStatus) {
+  auto started = PtaQuery::Stream(1)
+                     .Budget(Budget::Size(16))
+                     .Weights({1.0, 2.0})
+                     .Start();
+  ASSERT_FALSE(started.ok());
+  EXPECT_EQ(started.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryWeightsValidationTest, NonPositiveWeightsRejectedEverywhere) {
+  const TemporalRelation proj = MakeProjRelation();
+  for (const Engine engine :
+       {Engine::kExactDp, Engine::kGreedy, Engine::kParallel}) {
+    auto result = PtaQuery::Over(proj)
+                      .Spec(ProjAvgSpec())
+                      .Budget(Budget::Size(4))
+                      .Engine(engine)
+                      .Weights({0.0})
+                      .Run();
+    ASSERT_FALSE(result.ok()) << EngineName(engine);
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+        << EngineName(engine);
+  }
+}
+
+TEST(QueryWeightsValidationTest, ValidWeightsStillFlowThrough) {
+  // The planner's check must not break weighted evaluation: same optimal
+  // partition, error scaled by w^2 = 4 (cf. PtaApiTest).
+  const TemporalRelation proj = MakeProjRelation();
+  auto result = PtaQuery::Over(proj)
+                    .Spec(ProjAvgSpec())
+                    .Budget(Budget::Size(4))
+                    .Engine(Engine::kExactDp)
+                    .Weights({2.0})
+                    .Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->error, 4.0 * 49166.67, 0.05);
+}
+
+}  // namespace
+}  // namespace pta
