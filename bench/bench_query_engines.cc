@@ -34,22 +34,7 @@ namespace {
 
 using namespace pta;
 
-bool ExactlyEqual(const SequentialRelation& a, const SequentialRelation& b) {
-  if (a.size() != b.size() || a.num_aggregates() != b.num_aggregates()) {
-    return false;
-  }
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (a.group(i) != b.group(i) || !(a.interval(i) == b.interval(i))) {
-      return false;
-    }
-    for (size_t d = 0; d < a.num_aggregates(); ++d) {
-      if (std::memcmp(&a.values(i)[d], &b.values(i)[d], sizeof(double)) != 0) {
-        return false;
-      }
-    }
-  }
-  return true;
-}
+using bench::ExactlyEqual;
 
 constexpr int kReps = 3;  // best-of, to damp scheduler noise
 

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,29 @@
 
 namespace pta {
 namespace bench {
+
+/// Byte-for-byte equality of two sequential relations — the identity gate
+/// the bench harnesses share (memcmp on the value doubles, so even ulp
+/// drift fails). One definition, so the identity contract cannot diverge
+/// between benches.
+inline bool ExactlyEqual(const SequentialRelation& a,
+                         const SequentialRelation& b) {
+  if (a.size() != b.size() || a.num_aggregates() != b.num_aggregates()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.group(i) != b.group(i) || !(a.interval(i) == b.interval(i))) {
+      return false;
+    }
+    for (size_t d = 0; d < a.num_aggregates(); ++d) {
+      if (std::memcmp(&a.values(i)[d], &b.values(i)[d], sizeof(double)) !=
+          0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
 
 /// PTA_BENCH_SCALE (default 1.0), clamped to [0.01, 1000].
 inline double ScaleFromEnv() {

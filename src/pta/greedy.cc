@@ -164,9 +164,16 @@ Result<Reduction> GreedyReduceToSize(SegmentSource& source, size_t c,
       // can merge until more tuples arrive (if c < cmin, the final drain
       // reports the error).
       if (top.key == kInfiniteError) break;
-      if (top.id < last_gap_id && before_gap >= static_cast<int64_t>(c)) {
-        // Prop. 3: a later non-adjacent pair exists and at least c tuples
-        // precede it, so GMS would perform this merge too.
+      if (top.id < last_gap_id && before_gap > static_cast<int64_t>(c)) {
+        // Prop. 3: a later non-adjacent pair exists and *more than* c live
+        // tuples precede it, so GMS is forced to perform this merge too
+        // (the post-gap region keeps at least one tuple, capping the final
+        // pre-gap count at c - 1). The bound is strict: merging while
+        // before_gap == c would take the pre-gap region down to c - 1 one
+        // step before the stream proves the step is needed, and the merge's
+        // re-keying can expose a cheaper pair to the final drain than GMS
+        // ever sees at its stop-at-c cutoff — the budget-boundary bug the
+        // PtaIndex regression sweep caught.
         --before_gap;
         total += heap.MergeTop();
         ++merges;

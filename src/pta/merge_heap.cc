@@ -121,7 +121,7 @@ MergeHeap::TopInfo MergeHeap::Peek() const {
   return {node.id, node.key};
 }
 
-double MergeHeap::MergeTop() {
+double MergeHeap::MergeTop(MergeRecord* record) {
   PTA_CHECK_MSG(!heap_.empty(), "MergeTop on empty heap");
   const int32_t nh = heap_[0];
   Node& n = nodes_[nh];
@@ -129,6 +129,12 @@ double MergeHeap::MergeTop() {
   const double introduced = n.key;
   const int32_t ph = n.prev;
   Node& p = nodes_[ph];
+  if (record != nullptr) {
+    record->top_id = n.id;
+    record->pred_id = p.id;
+    record->key = introduced;
+    record->group = p.group;
+  }
 
   // Fold N into P (Def. 3): weighted-average values, concatenate timestamps
   // (hull when gap merging is enabled; the weights are the covered lengths).
@@ -141,6 +147,11 @@ double MergeHeap::MergeTop() {
   }
   p.t.end = n.t.end;
   p.covered += n.covered;
+  if (record != nullptr) {
+    record->t = p.t;
+    record->covered = p.covered;
+    record->values = pv;
+  }
 
   // Unlink N.
   p.next = n.next;

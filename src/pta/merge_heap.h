@@ -39,6 +39,28 @@ class MergeHeap {
     double key = kInfiniteError;
   };
 
+  /// \brief One executed merge, as observed by MergeTop(MergeRecord*).
+  ///
+  /// Everything a dendrogram recorder (pta/index.h) needs: which two chain
+  /// nodes were folded (by their stable insertion ids) and the surviving
+  /// node's post-merge payload. `values` points into heap-owned storage and
+  /// is valid only until the next Insert/MergeTop — copy it out.
+  struct MergeRecord {
+    /// Id of the node folded away (the heap top).
+    int64_t top_id = 0;
+    /// Id of the surviving node (the top's chain predecessor).
+    int64_t pred_id = 0;
+    /// The introduced error (the top's key), also MergeTop's return value.
+    double key = 0.0;
+    int32_t group = 0;
+    /// Post-merge interval (the hull when gap merging is enabled).
+    Interval t;
+    /// Post-merge covered chronons (== t.length() unless gap-merged).
+    int64_t covered = 0;
+    /// Post-merge values of the surviving node (p doubles, borrowed).
+    const double* values = nullptr;
+  };
+
   /// Inserts a segment as the new chronological tail; returns its sequence
   /// id (1-based) via *id and its key (infinity when it does not follow its
   /// predecessor adjacently).
@@ -53,8 +75,9 @@ class MergeHeap {
   TopInfo Peek() const;
 
   /// Merges the top node into its predecessor and returns the introduced
-  /// error (its key). Requires the top key to be finite.
-  double MergeTop();
+  /// error (its key). Requires the top key to be finite. When `record` is
+  /// non-null it is filled with the executed merge (see MergeRecord).
+  double MergeTop(MergeRecord* record = nullptr);
 
   /// Counts successors of the top node connected to it by a chain of
   /// adjacent pairs, stopping at `limit` (the gPTA δ check).

@@ -2,10 +2,11 @@
 // run, shared by every public entry point.
 //
 // The paper defines a single operator — PTA under a size bound c (Def. 6)
-// or an error bound ε (Def. 7) — that this repo evaluates with four
+// or an error bound ε (Def. 7) — that this repo evaluates with five
 // backends: the exact dynamic programs (pta/dp.h), the streaming greedy
 // reducers (pta/greedy.h), the group-sharded parallel engine
-// (pta/parallel.h), and the online streaming engines (src/stream/). A
+// (pta/parallel.h), the PtaIndex merge tree (pta/index.h), and the online
+// streaming engines (src/stream/). A
 // PtaPlan separates the *what* (input, ItaSpec, Budget) from the *how*
 // (Engine + per-engine tuning): planning validates the spec once — weight
 // arity, budget range, group-by/schema mismatches — with consistent
@@ -19,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,8 +44,16 @@ enum class Engine {
   /// The online engines (src/stream/); run via PtaQuery::Start(), which
   /// returns a bound StreamingQuery handle (pta/stream_api.h).
   kStreaming,
+  /// The PtaIndex merge-tree (pta/index.h): one recorded greedy run, then
+  /// every budget is an O(k) cut, byte-identical to the GMS reducers.
+  /// Built indexes are cached by the budget-stripped plan fingerprint, so
+  /// re-running the same query with only the budget changed skips both
+  /// ITA and the merge entirely.
+  kIndexed,
   /// Planner's choice: kParallel when parallel tuning was given, else
-  /// kExactDp for small inputs and kGreedy beyond kAutoExactDpMaxInput.
+  /// kExactDp for small inputs and kGreedy beyond kAutoExactDpMaxInput —
+  /// upgraded to kIndexed when this budget-stripped query shape has
+  /// executed before (the re-budgeting fast path).
   kAuto,
 };
 
@@ -138,6 +148,16 @@ struct PtaResult {
   size_t ita_size = 0;
 };
 
+/// \brief Observability of one Engine::kIndexed execution.
+struct PtaIndexRunStats {
+  /// True when the plan-fingerprint cache already held the built index.
+  bool cache_hit = false;
+  /// Wall time of the index construction; 0 on a cache hit.
+  double build_seconds = 0.0;
+  /// Wall time of the O(k) budget cut itself.
+  double cut_seconds = 0.0;
+};
+
 /// \brief Unified observability of one PTA run, subsuming the per-engine
 /// GreedyStats / ParallelStats counters.
 struct PtaRunStats {
@@ -151,6 +171,8 @@ struct PtaRunStats {
   GreedyStats greedy;
   /// Filled by Engine::kParallel runs (includes per-shard GreedyStats).
   ParallelStats parallel;
+  /// Filled by Engine::kIndexed runs.
+  PtaIndexRunStats indexed;
 };
 
 /// \brief A validated, engine-resolved PTA query, ready to execute.
@@ -191,6 +213,44 @@ struct PtaPlan {
   /// they have no single return value; bind them with PtaQuery::Start().
   Result<PtaResult> Execute(PtaRunStats* stats = nullptr) const;
 };
+
+/// \brief Budget-stripped fingerprint of a plan (FNV-1a, 64-bit).
+///
+/// Hashes what determines an index's content — the input binding (pointer,
+/// size, and a sampled-row content guard: the boundary rows plus evenly
+/// spaced interior rows), the ItaSpec, the effective
+/// weights, and the gap-merging flag — but *not* the budget, the engine, or
+/// engine tuning that cannot change a reduction's merge order. Two plans
+/// with equal fingerprints answer every budget from the same PtaIndex;
+/// this is the key of the process-wide index cache below and of the kAuto
+/// re-budgeting upgrade.
+uint64_t PlanFingerprint(const PtaPlan& plan);
+
+/// Number of built PtaIndex instances currently held by the process-wide
+/// plan cache (observability; also used by tests).
+size_t PtaIndexCacheSize();
+
+/// Drops every cached index and all re-execution fingerprints. Call when
+/// an input relation is about to be destroyed and its address may be
+/// reused for different data (the cache guards against stale hits with a
+/// size + boundary-row check, but a hash guard is not a proof).
+void PtaIndexCacheClear();
+
+class PtaIndex;  // pta/index.h
+
+namespace internal {
+// The plan cache's raw surface, shared by the planner (kAuto upgrade in
+// pta/query.cc) and the kIndexed executor (pta/plan.cc). Thread-safe.
+/// True when Execute() already recorded this budget-stripped fingerprint.
+bool IndexCacheSawFingerprint(uint64_t fingerprint);
+/// Records that a query shape with this fingerprint executed.
+void IndexCacheNoteFingerprint(uint64_t fingerprint);
+/// The cached index for the fingerprint, or nullptr.
+std::shared_ptr<const PtaIndex> IndexCacheLookup(uint64_t fingerprint);
+/// Inserts a built index (LRU-evicting the oldest beyond the capacity).
+void IndexCacheInsert(uint64_t fingerprint,
+                      std::shared_ptr<const PtaIndex> index);
+}  // namespace internal
 
 }  // namespace pta
 

@@ -13,8 +13,10 @@
 //
 // The planner (pta/plan.h) validates the query once and lowers it to the
 // exact dynamic programs of Sec. 5 (Engine::kExactDp), the streaming
-// greedy algorithms of Sec. 6 (Engine::kGreedy), or the group-sharded
-// parallel engine (Engine::kParallel). The free functions below predate
+// greedy algorithms of Sec. 6 (Engine::kGreedy), the group-sharded
+// parallel engine (Engine::kParallel), or the PtaIndex merge tree
+// (Engine::kIndexed, pta/index.h) whose one recorded greedy run answers
+// any re-budgeted query as an O(k) cut. The free functions below predate
 // the builder; they are thin wrappers over the same planner, kept
 // byte-identical for existing callers — prefer PtaQuery in new code
 // (docs/API.md has the migration table).
@@ -33,6 +35,7 @@
 #include "core/ita.h"
 #include "pta/dp.h"
 #include "pta/greedy.h"
+#include "pta/index.h"
 #include "pta/parallel.h"
 #include "pta/plan.h"
 #include "pta/query.h"

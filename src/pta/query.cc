@@ -56,6 +56,13 @@ PtaQuery& PtaQuery::Budget(pta::Budget budget) {
   return *this;
 }
 
+PtaQuery PtaQuery::WithBudget(pta::Budget budget) const {
+  PtaQuery rebound = *this;
+  rebound.Budget(budget);
+  rebound.rebudget_opt_in_ = true;
+  return rebound;
+}
+
 PtaQuery& PtaQuery::Engine(pta::Engine engine) {
   engine_ = engine;
   return *this;
@@ -231,6 +238,7 @@ Result<PtaPlan> PtaQuery::Plan() const {
         break;
       case pta::Engine::kGreedy:
       case pta::Engine::kParallel:
+      case pta::Engine::kIndexed:
         engine_weights = &greedy_.weights;
         break;
       case pta::Engine::kStreaming:
@@ -260,6 +268,22 @@ Result<PtaPlan> PtaQuery::Plan() const {
   plan.streaming.weights = *engine_weights;
   if (engine == pta::Engine::kStreaming) {
     plan.streaming.size_budget = budget_.size();
+  }
+  if (rebudget_opt_in_ && engine_ == pta::Engine::kAuto &&
+      engine == pta::Engine::kGreedy &&
+      internal::IndexCacheSawFingerprint(PlanFingerprint(plan))) {
+    // Re-budgeting fast path: the caller re-bound this query through
+    // WithBudget and its budget-stripped shape has executed before, so
+    // the recorded merge tree answers any budget in O(k). The upgrade is
+    // gated three ways so results never change behind a caller's back:
+    // WithBudget is the explicit re-budgeting opt-in (a plain re-Run of
+    // the same query keeps its engine and its bytes); only greedy-sized
+    // resolutions upgrade, because the indexed cut returns the GMS result
+    // — the quality reference the greedy engines approximate — while a
+    // small input's kExactDp answer is a different (optimal) relation;
+    // and the shape must actually have executed, so a fresh query never
+    // pays an index build it did not ask for.
+    plan.engine = pta::Engine::kIndexed;
   }
   return plan;
 }

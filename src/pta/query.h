@@ -75,9 +75,21 @@ class PtaQuery {
   /// Sets the reduction budget (required): `Budget::Size(c)` or
   /// `Budget::RelativeError(eps)`.
   PtaQuery& Budget(pta::Budget budget);
+  /// A copy of this query with only the budget replaced — the re-budgeting
+  /// idiom, and the *explicit opt-in* to the indexed fast path. Because
+  /// everything else (and hence the budget-stripped plan fingerprint) is
+  /// unchanged, re-running the copy hits the PtaIndex plan cache: under
+  /// Engine::kIndexed immediately, and under kAuto the rebound copy
+  /// upgrades a previously executed greedy-sized shape to kIndexed — the
+  /// answer is then the GMS cut (the greedy engines' quality reference),
+  /// not a byte-replay of the default-delta gPTAc run. Queries that never
+  /// go through WithBudget or Engine::kIndexed keep their engine and
+  /// byte-identical results on every re-run.
+  PtaQuery WithBudget(pta::Budget budget) const;
   /// Picks the evaluation backend; default kAuto (the planner chooses —
   /// kParallel when Parallel() tuning was given, else kExactDp up to
-  /// kAutoExactDpMaxInput input tuples and kGreedy beyond).
+  /// kAutoExactDpMaxInput input tuples and kGreedy beyond; a WithBudget
+  /// re-bind of an executed greedy-sized shape upgrades to kIndexed).
   PtaQuery& Engine(pta::Engine engine);
   /// Per-dimension error weights w_d (Def. 5); empty means all ones.
   /// Overrides any weights carried inside the option structs below.
@@ -128,6 +140,10 @@ class PtaQuery {
   ParallelOptions parallel_;
   bool has_parallel_ = false;
   StreamingOptions streaming_;
+  /// Set by WithBudget: the caller declared this a re-budgeted query, so
+  /// kAuto may serve it from the PtaIndex plan cache. Never set on a
+  /// directly built query — plain re-runs must stay byte-stable.
+  bool rebudget_opt_in_ = false;
 };
 
 }  // namespace pta

@@ -153,15 +153,18 @@ bool StreamingPtaEngine::HasDeltaSuccessors(int32_t h) const {
 void StreamingPtaEngine::MergeWhileOverBudget() {
   // The gPTAc ingest loop (Fig. 11 / greedy.cc): merge the globally
   // cheapest pair while over budget, but only when Prop. 3 (a later gap
-  // with at least c live rows before it) or the δ read-ahead confirms the
-  // merge is one GMS would also perform.
+  // with strictly more than c live rows before it) or the δ read-ahead
+  // confirms the merge is one GMS would also perform.
   const int64_t c = static_cast<int64_t>(options_.size_budget);
   while (live_ > options_.size_budget) {
     Candidate top;
     if (!PeekTop(&top)) break;  // every live pair is non-adjacent
     Node& node = nodes_[top.node];
     Group& group = groups_[node.group];
-    if (top.id < last_gap_id_ && before_gap_ >= c) {
+    // Strict bound, mirroring greedy.cc: only merges the stream has already
+    // proven forced (pre-gap count must fall below c, not merely to c - 1
+    // eventually) keep the replay byte-identical to batch gPTAc.
+    if (top.id < last_gap_id_ && before_gap_ > c) {
       --before_gap_;
       MergeCandidate(top, group);
       ++stats_.early_merges;
@@ -327,6 +330,10 @@ Status StreamingPtaEngine::AdvanceWatermark(Chronon watermark) {
         "watermark must be monotone: " + std::to_string(watermark) +
         " is below the current " + std::to_string(watermark_));
   }
+  // Re-announcing the current watermark is an idempotent no-op (retried
+  // upstream frames do this routinely); only a strictly lower advance is an
+  // error. Skip the sealing scan — nothing new can settle.
+  if (watermark == watermark_) return Status::Ok();
   watermark_ = watermark;
   for (auto& [group_id, group] : groups_) {
     (void)group_id;

@@ -105,7 +105,8 @@ class StreamingPtaEngine {
   /// live row that can no longer meet a future arrival (row end + 1 <
   /// watermark; with merge_across_gaps, group tails are additionally kept
   /// live) is sealed and moved to the emission buffer. Monotone: a
-  /// watermark below the current one fails with InvalidArgument.
+  /// watermark strictly below the current one fails with InvalidArgument;
+  /// re-announcing the current watermark is an idempotent no-op.
   Status AdvanceWatermark(Chronon watermark);
 
   /// The current watermark (minimum begin of any future segment).

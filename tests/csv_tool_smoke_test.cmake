@@ -1,31 +1,57 @@
 # Smoke test: run pta_csv_tool over the checked-in Fig. 1 fixture and
-# compare its stdout against the golden file byte-for-byte.
+# compare its stdout against the golden file byte-for-byte. The same query
+# is repeated over two mangled variants of the fixture — CRLF line endings
+# and a missing trailing newline on the last row — which must produce the
+# identical golden output (input hardening, PR 5).
 # Expects -DTOOL=, -DFIXTURE_DIR=, -DOUT_DIR=.
 
-execute_process(
-  COMMAND ${TOOL}
-          --input ${FIXTURE_DIR}/proj.csv
-          --schema Empl:string,Proj:string,Sal:double
-          --group-by Proj
-          --agg avg:Sal:AvgSal
-          --size 4
-  OUTPUT_FILE ${OUT_DIR}/csv_tool_out.csv
-  ERROR_VARIABLE tool_stderr
-  RESULT_VARIABLE tool_rc
-)
-if(NOT tool_rc EQUAL 0)
-  message(FATAL_ERROR "pta_csv_tool exited with ${tool_rc}: ${tool_stderr}")
-endif()
+function(run_tool input output)
+  execute_process(
+    COMMAND ${TOOL}
+            --input ${input}
+            --schema Empl:string,Proj:string,Sal:double
+            --group-by Proj
+            --agg avg:Sal:AvgSal
+            --size 4
+    OUTPUT_FILE ${output}
+    ERROR_VARIABLE tool_stderr
+    RESULT_VARIABLE tool_rc
+  )
+  if(NOT tool_rc EQUAL 0)
+    message(FATAL_ERROR
+            "pta_csv_tool on ${input} exited with ${tool_rc}: ${tool_stderr}")
+  endif()
+endfunction()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          ${OUT_DIR}/csv_tool_out.csv ${FIXTURE_DIR}/proj_golden.csv
-  RESULT_VARIABLE diff_rc
-)
-if(NOT diff_rc EQUAL 0)
-  file(READ ${OUT_DIR}/csv_tool_out.csv actual)
-  file(READ ${FIXTURE_DIR}/proj_golden.csv expected)
-  message(FATAL_ERROR "output differs from golden file.\n"
-                      "--- expected ---\n${expected}\n"
-                      "--- actual ---\n${actual}")
-endif()
+function(compare_with_golden actual label)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${actual} ${FIXTURE_DIR}/proj_golden.csv
+    RESULT_VARIABLE diff_rc
+  )
+  if(NOT diff_rc EQUAL 0)
+    file(READ ${actual} actual_text)
+    file(READ ${FIXTURE_DIR}/proj_golden.csv expected)
+    message(FATAL_ERROR "${label}: output differs from golden file.\n"
+                        "--- expected ---\n${expected}\n"
+                        "--- actual ---\n${actual_text}")
+  endif()
+endfunction()
+
+# 1. The pristine LF fixture.
+run_tool(${FIXTURE_DIR}/proj.csv ${OUT_DIR}/csv_tool_out.csv)
+compare_with_golden(${OUT_DIR}/csv_tool_out.csv "LF fixture")
+
+# 2. CRLF line endings (as exported by Windows tools).
+file(READ ${FIXTURE_DIR}/proj.csv lf_text)
+string(REPLACE "\n" "\r\n" crlf_text "${lf_text}")
+file(WRITE ${OUT_DIR}/proj_crlf.csv "${crlf_text}")
+run_tool(${OUT_DIR}/proj_crlf.csv ${OUT_DIR}/csv_tool_out_crlf.csv)
+compare_with_golden(${OUT_DIR}/csv_tool_out_crlf.csv "CRLF fixture")
+
+# 3. Missing trailing newline on the last row.
+string(REGEX REPLACE "\n$" "" chopped_text "${lf_text}")
+file(WRITE ${OUT_DIR}/proj_chopped.csv "${chopped_text}")
+run_tool(${OUT_DIR}/proj_chopped.csv ${OUT_DIR}/csv_tool_out_chopped.csv)
+compare_with_golden(${OUT_DIR}/csv_tool_out_chopped.csv
+                    "missing-trailing-newline fixture")

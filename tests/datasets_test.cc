@@ -174,6 +174,44 @@ TEST(CsvTest, QuotingSurvivesSpecialCharacters) {
   EXPECT_TRUE(parsed->SameTuples(rel));
 }
 
+TEST(CsvTest, CrlfAndMissingTrailingNewlineParseIdenticallyToLf) {
+  // Input hardening (PR 5): files exported from Windows tools arrive with
+  // CRLF line endings, and many writers drop the final newline. All four
+  // combinations must parse to the same relation as plain LF input.
+  const TemporalRelation proj = testing::MakeProjRelation();
+  const std::string lf = RelationToCsv(proj);
+
+  std::string crlf;
+  for (const char ch : lf) {
+    if (ch == '\n') crlf += '\r';
+    crlf += ch;
+  }
+  std::string lf_chopped = lf;
+  lf_chopped.pop_back();  // drop the trailing '\n'
+  std::string crlf_chopped = crlf;
+  crlf_chopped.erase(crlf_chopped.size() - 2);  // drop the trailing "\r\n"
+
+  const std::vector<const std::string*> variants = {&lf, &crlf, &lf_chopped,
+                                                    &crlf_chopped};
+  for (const std::string* text : variants) {
+    auto parsed = RelationFromCsv(*text, proj.schema());
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(parsed->SameTuples(proj));
+    EXPECT_EQ(parsed->size(), proj.size());
+  }
+
+  // A lone CRLF header with no rows still parses (empty relation), and a
+  // bare '\r' line is treated as blank, not as a one-cell row.
+  auto header_only =
+      RelationFromCsv("Empl,Proj,Sal,tb,te\r\n", proj.schema());
+  ASSERT_TRUE(header_only.ok());
+  EXPECT_TRUE(header_only->empty());
+  auto blank_crlf = RelationFromCsv(
+      "Empl,Proj,Sal,tb,te\r\n\r\nJohn,A,800,1,4\r\n", proj.schema());
+  ASSERT_TRUE(blank_crlf.ok());
+  EXPECT_EQ(blank_crlf->size(), 1u);
+}
+
 TEST(CsvTest, RejectsMalformedInput) {
   const Schema schema({{"V", ValueType::kDouble}});
   EXPECT_FALSE(RelationFromCsv("", schema).ok());

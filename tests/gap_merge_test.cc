@@ -72,6 +72,56 @@ TEST(GapMergeTest, HeapMergesAcrossGapWithCoveredWeights) {
   EXPECT_NEAR(segs[0].values[0], 20.0, 1e-9);
 }
 
+TEST(GapMergeTest, WeightedGapMergeKeysUseCoveredChronons) {
+  // The PR 5 audit case: with non-uniform per-dimension weights, the
+  // gap-merged key must still weigh each side by its *covered* chronons —
+  // never by the hull length the merged timestamp will span. Two
+  // two-dimensional rows, 2 and 1 covered chronons, hull of 11:
+  //   dsim = (2*1/3) * (w0^2 * 30^2 + w1^2 * 5^2)
+  //        = (2/3) * (9 * 900 + 0.25 * 25) = 5404.1666...
+  // A hull-weighted key would use 9*2/11 and 2 covered -> far larger.
+  const std::vector<double> weights = {3.0, 0.5};
+  MergeHeap heap(2, weights, /*merge_across_gaps=*/true);
+  heap.Insert(Segment{0, Interval(0, 1), {10.0, 1.0}});
+  heap.Insert(Segment{0, Interval(10, 10), {40.0, 6.0}});
+  const double expected =
+      (2.0 * 1.0 / 3.0) * (9.0 * 900.0 + 0.25 * 25.0);
+  EXPECT_DOUBLE_EQ(heap.Peek().key, expected);
+  heap.MergeTop();
+  const std::vector<Segment> segs = heap.ExtractSegments();
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].t, Interval(0, 10));
+  // Values are covered-weighted per dimension, independent of the weights.
+  EXPECT_DOUBLE_EQ(segs[0].values[0], (2.0 * 10.0 + 1.0 * 40.0) / 3.0);
+  EXPECT_DOUBLE_EQ(segs[0].values[1], (2.0 * 1.0 + 1.0 * 6.0) / 3.0);
+
+  // After a gap merge, further keys keep using accumulated covered
+  // chronons (3 here), not the hull length (11).
+  heap.Insert(Segment{0, Interval(20, 21), {20.0, 2.0}});
+  const double diff1 = (2.0 * 1.0 + 1.0 * 6.0) / 3.0 - 2.0;
+  const double follow_up =
+      (3.0 * 2.0 / 5.0) * (9.0 * 0.0 + 0.25 * diff1 * diff1);
+  EXPECT_DOUBLE_EQ(heap.Peek().key, follow_up);
+}
+
+TEST(GapMergeTest, WeightedGapMergeAgreesWithTheErrorContext) {
+  // End to end: the greedy gap-merged reduction's reported error equals
+  // the covered-weighted SSE the error machinery computes for the same
+  // output — with non-uniform weights. RunSse weighs each segment by its
+  // own covered length, so any hull-weighting in the heap would break
+  // this equality.
+  const SequentialRelation rel = RandomSequential(40, 2, 2, 0.35, 97);
+  GreedyOptions options;
+  options.merge_across_gaps = true;
+  options.weights = {2.5, 0.75};
+  const size_t c = 2;  // gap merging can reach one tuple per group
+  auto red = GmsReduceToSize(rel, c, options);
+  ASSERT_TRUE(red.ok());
+  ASSERT_EQ(red->relation.size(), c);
+  const ErrorContext ctx(rel, options.weights, /*merge_across_gaps=*/true);
+  EXPECT_NEAR(red->error, ctx.MaxError(), 1e-9 * (1.0 + ctx.MaxError()));
+}
+
 TEST(GapMergeTest, GroupBoundariesStillSeparate) {
   MergeHeap heap(1, {}, /*merge_across_gaps=*/true);
   heap.Insert(Segment{0, Interval(0, 1), {10.0}});

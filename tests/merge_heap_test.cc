@@ -65,6 +65,38 @@ TEST(MergeHeapTest, MergeTopFoldsIntoPredecessorAndRekeys) {
   EXPECT_NEAR(segs[3].values[0], 1000.0 / 3.0, 1e-9);
 }
 
+TEST(MergeHeapTest, MergeRecordReportsTheExecutedMerge) {
+  MergeHeap heap = LoadProjHeap();
+  MergeHeap::MergeRecord rec;
+  const double introduced = heap.MergeTop(&rec);  // s5 folds into s4
+  EXPECT_EQ(rec.top_id, 5);
+  EXPECT_EQ(rec.pred_id, 4);
+  EXPECT_EQ(rec.key, introduced);
+  EXPECT_EQ(rec.group, 0);
+  EXPECT_EQ(rec.t, Interval(5, 7));
+  EXPECT_EQ(rec.covered, 3);
+  ASSERT_NE(rec.values, nullptr);
+  EXPECT_NEAR(rec.values[0], 1000.0 / 3.0, 1e-9);
+}
+
+TEST(MergeHeapTest, MergeRecordCarriesCoveredChrononsUnderWeightedGapMerge) {
+  // The PR 5 audit: the record (like the key) must report *covered*
+  // chronons, not the hull, when a non-uniformly-weighted heap merges
+  // across a gap — the dendrogram recorder depends on it.
+  MergeHeap heap(2, {4.0, 0.5}, /*merge_across_gaps=*/true);
+  heap.Insert(Segment{0, Interval(0, 2), {10.0, 4.0}});   // 3 chronons
+  heap.Insert(Segment{0, Interval(10, 10), {16.0, 8.0}});  // 1 chronon
+  const double expected_key =
+      (3.0 * 1.0 / 4.0) * (16.0 * 36.0 + 0.25 * 16.0);
+  EXPECT_DOUBLE_EQ(heap.Peek().key, expected_key);
+  MergeHeap::MergeRecord rec;
+  heap.MergeTop(&rec);
+  EXPECT_EQ(rec.t, Interval(0, 10));  // hull timestamp...
+  EXPECT_EQ(rec.covered, 4);          // ...but covered chronons weigh
+  EXPECT_DOUBLE_EQ(rec.values[0], (3.0 * 10.0 + 1.0 * 16.0) / 4.0);
+  EXPECT_DOUBLE_EQ(rec.values[1], (3.0 * 4.0 + 1.0 * 8.0) / 4.0);
+}
+
 TEST(MergeHeapTest, FullDrainFollowsFig9Dendrogram) {
   MergeHeap heap = LoadProjHeap();
   // Greedy merge order: (s4,s5) 1666.67, (s2,s3) 5000, then the two merged

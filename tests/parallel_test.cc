@@ -246,6 +246,63 @@ TEST(AllocateSizeBudgetsTest, BoundaryCases) {
   EXPECT_FALSE(AllocateSizeBudgets({2, 5}, {3, 1}, {1.0, 1.0}, 6).ok());
 }
 
+TEST(AllocateSizeBudgetsTest, AdversarialBoundaryAudit) {
+  // Regression lattice for the documented boundary contracts (the PR 5
+  // audit): saturated shards never siphon budget, ties stay deterministic
+  // toward lower indices, and an all-zero Êmax shard neither starves below
+  // its cmin nor crowds out error-carrying shards.
+
+  // A shard whose cmin already consumes its whole size (zero headroom) must
+  // receive exactly its cmin, no matter how large its Êmax weight is; the
+  // remainder flows to the other shards.
+  auto saturated =
+      AllocateSizeBudgets({5, 10, 10}, {5, 1, 1}, {1e12, 1.0, 1.0}, 9);
+  ASSERT_TRUE(saturated.ok());
+  EXPECT_EQ(*saturated, (std::vector<size_t>{5, 2, 2}));
+
+  // An all-zero Êmax shard keeps its cmin and only receives remainder that
+  // the error-carrying shards cannot hold.
+  auto zero_emax =
+      AllocateSizeBudgets({10, 10, 10}, {1, 1, 1}, {0.0, 5.0, 5.0}, 15);
+  ASSERT_TRUE(zero_emax.ok());
+  EXPECT_EQ(*zero_emax, (std::vector<size_t>{1, 7, 7}));
+  // ...but once those saturate, the leftover re-flows to it rather than
+  // being dropped.
+  auto reflow =
+      AllocateSizeBudgets({10, 3, 3}, {1, 1, 1}, {0.0, 5.0, 5.0}, 9);
+  ASSERT_TRUE(reflow.ok());
+  EXPECT_EQ(*reflow, (std::vector<size_t>{3, 3, 3}));
+
+  // Êmax ties break toward lower shard indices, at every remainder count.
+  auto ties3 = AllocateSizeBudgets({10, 10, 10}, {1, 1, 1}, {2.0, 2.0, 2.0}, 8);
+  ASSERT_TRUE(ties3.ok());
+  EXPECT_EQ(*ties3, (std::vector<size_t>{3, 3, 2}));
+  auto ties2 = AllocateSizeBudgets({10, 10}, {1, 1}, {2.0, 2.0}, 5);
+  ASSERT_TRUE(ties2.ok());
+  EXPECT_EQ(*ties2, (std::vector<size_t>{3, 2}));
+
+  // Positive-weight shards with zero headroom cap instantly; the whole
+  // remainder lands on the zero-weight shard that actually has room.
+  auto only_room =
+      AllocateSizeBudgets({3, 3, 10}, {3, 3, 1}, {5.0, 5.0, 0.0}, 10);
+  ASSERT_TRUE(only_room.ok());
+  EXPECT_EQ(*only_room, (std::vector<size_t>{3, 3, 4}));
+
+  // Empty shards (size 0, cmin 0, Êmax 0) ride along untouched.
+  auto with_empty =
+      AllocateSizeBudgets({0, 8, 0, 8}, {0, 2, 0, 2}, {0.0, 1.0, 0.0, 1.0}, 10);
+  ASSERT_TRUE(with_empty.ok());
+  EXPECT_EQ(*with_empty, (std::vector<size_t>{0, 5, 0, 5}));
+
+  // Determinism: adversarial vectors allocate identically on every call.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    auto again =
+        AllocateSizeBudgets({5, 10, 10}, {5, 1, 1}, {1e12, 1.0, 1.0}, 9);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(*again, *saturated);
+  }
+}
+
 TEST(AllocateSizeBudgetsTest, SumsToCOnRandomInstances) {
   Random rng(99);
   for (int iter = 0; iter < 200; ++iter) {

@@ -21,6 +21,7 @@
 namespace pta {
 namespace {
 
+using testing::ExpectByteIdentical;
 using testing::MakeProjRelation;
 
 ItaSpec ProjAvgSpec() { return {{"Proj"}, {Avg("Sal", "AvgSal")}}; }
@@ -40,20 +41,6 @@ TemporalRelation MakeFleet() {
 
 ItaSpec FleetSpec() {
   return {{"G"}, {Avg("A1", "Avg1"), Avg("A2", "Avg2")}};
-}
-
-void ExpectByteIdentical(const SequentialRelation& a,
-                         const SequentialRelation& b) {
-  ASSERT_EQ(a.size(), b.size());
-  ASSERT_EQ(a.num_aggregates(), b.num_aggregates());
-  for (size_t i = 0; i < a.size(); ++i) {
-    EXPECT_EQ(a.group(i), b.group(i)) << "segment " << i;
-    EXPECT_EQ(a.interval(i), b.interval(i)) << "segment " << i;
-    for (size_t d = 0; d < a.num_aggregates(); ++d) {
-      EXPECT_EQ(a.value(i, d), b.value(i, d))
-          << "segment " << i << " dim " << d;
-    }
-  }
 }
 
 void ExpectSameResult(const Result<PtaResult>& built,
@@ -429,6 +416,179 @@ TEST(QueryWeightsValidationTest, NonPositiveWeightsRejectedEverywhere) {
     EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
         << EngineName(engine);
   }
+}
+
+// ---- Engine::kIndexed, WithBudget, and the re-budgeting fast path ------
+
+TEST(QueryIndexedTest, IndexedCutsMatchGmsOverTheSameIta) {
+  PtaIndexCacheClear();
+  const TemporalRelation fleet = MakeFleet();
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+  PtaRunStats stats;
+  const auto indexed = PtaQuery::Over(fleet)
+                           .Spec(FleetSpec())
+                           .Budget(Budget::Size(64))
+                           .Engine(Engine::kIndexed)
+                           .Run(&stats);
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  auto gms = GmsReduceToSize(*ita, 64);
+  ASSERT_TRUE(gms.ok());
+  ExpectByteIdentical(indexed->relation, gms->relation);
+  EXPECT_EQ(indexed->error, gms->error);
+  EXPECT_EQ(indexed->ita_size, ita->size());
+  EXPECT_EQ(stats.engine, Engine::kIndexed);
+  EXPECT_FALSE(stats.indexed.cache_hit);
+  EXPECT_EQ(PtaIndexCacheSize(), 1u);
+}
+
+TEST(QueryIndexedTest, WithBudgetRebindHitsThePlanCache) {
+  PtaIndexCacheClear();
+  const TemporalRelation fleet = MakeFleet();
+  const PtaQuery query = PtaQuery::Over(fleet)
+                             .Spec(FleetSpec())
+                             .Budget(Budget::Size(64))
+                             .Engine(Engine::kIndexed);
+  // The budget-stripped fingerprint ignores the re-bound budget...
+  auto plan_a = query.Plan();
+  auto plan_b = query.WithBudget(Budget::Size(32)).Plan();
+  auto plan_c = query.WithBudget(Budget::RelativeError(0.2)).Plan();
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  ASSERT_TRUE(plan_c.ok());
+  EXPECT_EQ(PlanFingerprint(*plan_a), PlanFingerprint(*plan_b));
+  EXPECT_EQ(PlanFingerprint(*plan_a), PlanFingerprint(*plan_c));
+
+  // ...so the first run builds the index and every re-budget reuses it,
+  // with cuts byte-identical to a fresh greedy-reference reduction.
+  PtaRunStats first;
+  ASSERT_TRUE(query.Run(&first).ok());
+  EXPECT_FALSE(first.indexed.cache_hit);
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+  const size_t cmin = ita->CMin();
+  for (const size_t c : {cmin, cmin + 17, cmin + 60}) {
+    PtaRunStats rerun;
+    const auto result = query.WithBudget(Budget::Size(c)).Run(&rerun);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(rerun.indexed.cache_hit) << "c=" << c;
+    auto gms = GmsReduceToSize(*ita, c);
+    ASSERT_TRUE(gms.ok());
+    ExpectByteIdentical(result->relation, gms->relation);
+    EXPECT_EQ(result->error, gms->error);
+  }
+  PtaRunStats by_error;
+  const auto err = query.WithBudget(Budget::RelativeError(0.1)).Run(&by_error);
+  ASSERT_TRUE(err.ok());
+  EXPECT_TRUE(by_error.indexed.cache_hit);
+  auto gms_err = GmsReduceToError(*ita, 0.1);
+  ASSERT_TRUE(gms_err.ok());
+  ExpectByteIdentical(err->relation, gms_err->relation);
+  EXPECT_EQ(PtaIndexCacheSize(), 1u);
+}
+
+TEST(QueryIndexedTest, AutoUpgradesReExecutedGreedyShapesToIndexed) {
+  PtaIndexCacheClear();
+  SyntheticOptions options;
+  options.num_tuples = kAutoExactDpMaxInput + 64;
+  options.num_groups = 6;
+  options.max_duration = 30;
+  options.time_span = 2000;  // dense coverage: cmin stays near the group count
+  options.seed = 17;
+  const TemporalRelation big = GenerateSyntheticRelation(options);
+  const PtaQuery query = PtaQuery::Over(big)
+                             .GroupBy("G")
+                             .Aggregate(Avg("A1", "Avg1"))
+                             .Budget(Budget::Size(200));
+  // First plan resolves to plain greedy (nothing has executed yet).
+  auto first_plan = query.Plan();
+  ASSERT_TRUE(first_plan.ok());
+  EXPECT_EQ(first_plan->engine, Engine::kGreedy);
+  PtaRunStats first;
+  const auto first_result = query.Run(&first);
+  ASSERT_TRUE(first_result.ok());
+  EXPECT_EQ(first.engine, Engine::kGreedy);
+
+  // Re-running the *same* query (no WithBudget) must not change engine or
+  // bytes — the upgrade is an explicit re-budgeting opt-in.
+  PtaRunStats rerun_stats;
+  const auto rerun = query.Run(&rerun_stats);
+  ASSERT_TRUE(rerun.ok());
+  EXPECT_EQ(rerun_stats.engine, Engine::kGreedy);
+  ExpectByteIdentical(rerun->relation, first_result->relation);
+  EXPECT_EQ(rerun->error, first_result->error);
+
+  // The WithBudget re-bind routes to the indexed cut...
+  const PtaQuery rebound = query.WithBudget(Budget::Size(120));
+  auto second_plan = rebound.Plan();
+  ASSERT_TRUE(second_plan.ok());
+  EXPECT_EQ(second_plan->engine, Engine::kIndexed);
+  PtaRunStats second;
+  const auto result = rebound.Run(&second);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(second.engine, Engine::kIndexed);
+  // ...and answers with the GMS cut of the same ITA result.
+  auto ita = Ita(big, ItaSpec{{"G"}, {Avg("A1", "Avg1")}});
+  ASSERT_TRUE(ita.ok());
+  auto gms = GmsReduceToSize(*ita, 120);
+  ASSERT_TRUE(gms.ok());
+  ExpectByteIdentical(result->relation, gms->relation);
+
+  // Small inputs never upgrade: their kAuto answer is the exact DP, which
+  // must not silently change into a greedy-quality cut between runs.
+  const TemporalRelation proj = MakeProjRelation();
+  const PtaQuery small =
+      PtaQuery::Over(proj).Spec(ProjAvgSpec()).Budget(Budget::Size(4));
+  ASSERT_TRUE(small.Run().ok());
+  auto small_again = small.WithBudget(Budget::Size(5)).Plan();
+  ASSERT_TRUE(small_again.ok());
+  EXPECT_EQ(small_again->engine, Engine::kExactDp);
+  PtaIndexCacheClear();
+}
+
+// ---- budget extremes, byte-identical across engines (regression) -------
+
+TEST(QueryBudgetExtremesTest, ExtremesAgreeAcrossGreedyParallelIndexed) {
+  // Size(1), Size(n), and RelativeError(0) through the builder: the greedy,
+  // parallel, and indexed engines must agree byte for byte. A single
+  // gap-free group keeps Size(1) feasible; delta = infinity pins the
+  // greedy engines to the GMS schedule the index records.
+  PtaIndexCacheClear();
+  SequentialRelation rel = GenerateSyntheticSequential(
+      /*num_groups=*/1, /*tuples_per_group=*/300, /*num_dims=*/2, 911);
+  rel.SetGroupKeys({GroupKey{Value(static_cast<int64_t>(0))}});
+  GreedyPtaOptions greedy;
+  greedy.delta = GreedyOptions::kDeltaInfinity;
+  ParallelOptions parallel;
+  parallel.num_shards = 2;
+  parallel.num_threads = 2;
+
+  const pta::Budget extremes[] = {pta::Budget::Size(1),
+                                  pta::Budget::Size(rel.size()),
+                                  pta::Budget::RelativeError(0.0)};
+  for (const pta::Budget& budget : extremes) {
+    const PtaQuery base =
+        PtaQuery::OverSequential(rel).Budget(budget).Greedy(greedy);
+    PtaQuery parallel_query = base;
+    parallel_query.Parallel(parallel);
+    const auto by_greedy = PtaQuery(base).Engine(Engine::kGreedy).Run();
+    const auto by_parallel = parallel_query.Engine(Engine::kParallel).Run();
+    const auto by_index = PtaQuery(base).Engine(Engine::kIndexed).Run();
+    ASSERT_TRUE(by_greedy.ok()) << by_greedy.status().ToString();
+    ASSERT_TRUE(by_parallel.ok()) << by_parallel.status().ToString();
+    ASSERT_TRUE(by_index.ok()) << by_index.status().ToString();
+    ExpectByteIdentical(by_greedy->relation, by_index->relation);
+    ExpectByteIdentical(by_parallel->relation, by_index->relation);
+    EXPECT_EQ(by_greedy->error, by_index->error);
+    EXPECT_EQ(by_parallel->error, by_index->error);
+    if (budget.is_size() && budget.size() == 1) {
+      EXPECT_EQ(by_index->relation.size(), 1u);
+    }
+    if (!budget.is_size()) {
+      EXPECT_EQ(by_index->error, 0.0);
+    }
+  }
+  PtaIndexCacheClear();
 }
 
 TEST(QueryWeightsValidationTest, ValidWeightsStillFlowThrough) {

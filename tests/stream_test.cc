@@ -10,6 +10,7 @@
 #include <map>
 
 #include "pta/greedy.h"
+#include "stream/sharded_stream.h"
 #include "test_util.h"
 #include "util/random.h"
 
@@ -262,6 +263,44 @@ TEST(StreamWatermarkTest, EnforcesTheArrivalPromiseAndMonotonicity) {
   // At the watermark is fine.
   seg.t = Interval(20, 25);
   EXPECT_TRUE(engine.Ingest(seg).ok());
+}
+
+TEST(StreamWatermarkTest, ReAnnouncingTheCurrentWatermarkIsIdempotent) {
+  // Upstream frame retries routinely re-announce the watermark they just
+  // sent; only a *strictly lower* advance is an InvalidArgument. An equal
+  // advance must change nothing: no new seals, no emission churn, and the
+  // engine keeps accepting segments at the watermark.
+  StreamingOptions options;
+  options.size_budget = 16;
+  StreamingPtaEngine engine(1, options);
+  Segment seg;
+  seg.group = 0;
+  seg.values = {1.0};
+  for (Chronon t = 0; t < 6; ++t) {
+    seg.t = Interval(t, t);
+    seg.values = {static_cast<double>(100 * t)};  // distinct: no merging
+    ASSERT_TRUE(engine.Ingest(seg).ok());
+  }
+  ASSERT_TRUE(engine.AdvanceWatermark(4).ok());
+  const size_t pending = engine.pending_rows();
+  const size_t live = engine.live_rows();
+  const size_t emitted = engine.stats().emitted;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const Status again = engine.AdvanceWatermark(4);
+    EXPECT_TRUE(again.ok()) << again.ToString();
+    EXPECT_EQ(engine.watermark(), 4);
+    EXPECT_EQ(engine.pending_rows(), pending);
+    EXPECT_EQ(engine.live_rows(), live);
+    EXPECT_EQ(engine.stats().emitted, emitted);
+  }
+  EXPECT_EQ(engine.AdvanceWatermark(3).code(),
+            StatusCode::kInvalidArgument);
+  // The sharded composition and the StreamingQuery handle inherit the
+  // no-op semantics.
+  ShardedStreamingEngine sharded(1, options, ParallelOptions{2, 2, {}, 1.0, 42});
+  ASSERT_TRUE(sharded.AdvanceWatermark(10).ok());
+  EXPECT_TRUE(sharded.AdvanceWatermark(10).ok());
+  EXPECT_FALSE(sharded.AdvanceWatermark(9).ok());
 }
 
 TEST(StreamWatermarkTest, GapMergingKeepsGroupTailsLive) {

@@ -6,6 +6,8 @@
 #ifndef PTA_TESTS_TEST_UTIL_H_
 #define PTA_TESTS_TEST_UTIL_H_
 
+#include <gtest/gtest.h>
+
 #include <limits>
 #include <vector>
 
@@ -16,6 +18,24 @@
 
 namespace pta {
 namespace testing {
+
+/// The byte-identity comparator the equivalence suites share: same
+/// segments, same groups and intervals, and bitwise-equal values (== on
+/// doubles; none of the reducers produce NaNs). Kept in one place so the
+/// PR 5 identity contract cannot drift between suites.
+inline void ExpectByteIdentical(const SequentialRelation& a,
+                                const SequentialRelation& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.num_aggregates(), b.num_aggregates());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.group(i), b.group(i)) << "segment " << i;
+    EXPECT_EQ(a.interval(i), b.interval(i)) << "segment " << i;
+    for (size_t d = 0; d < a.num_aggregates(); ++d) {
+      EXPECT_EQ(a.value(i, d), b.value(i, d))
+          << "segment " << i << " dim " << d;
+    }
+  }
+}
 
 /// The proj relation of Fig. 1(a): five project assignments over months 1-8.
 inline TemporalRelation MakeProjRelation() {
