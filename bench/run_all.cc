@@ -41,6 +41,7 @@ constexpr BenchSpec kBenches[] = {
     {"bench_index_rebudget", ""},
     {"bench_parallel_scaling", ""},
     {"bench_query_engines", ""},
+    {"bench_serve_concurrent", ""},
     {"bench_stream_throughput", ""},
     {"bench_table1_datasets", ""},
 #if PTA_HAVE_MICRO_BENCH

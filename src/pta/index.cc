@@ -280,6 +280,20 @@ Result<PtaIndex> PtaIndex::Build(SequentialRelation input,
   return index;
 }
 
+size_t PtaIndex::MemoryFootprint() const {
+  const size_t p = input_.num_aggregates();
+  size_t bytes = sizeof(*this);
+  bytes +=
+      input_.size() * (sizeof(int32_t) + sizeof(Interval) + p * sizeof(double));
+  bytes += merges_.size() * sizeof(MergeNode);
+  bytes += merge_values_.size() * sizeof(double);
+  bytes += delta_.size() * sizeof(double);
+  bytes += cum_.size() * sizeof(double);
+  bytes += roots_.size() * sizeof(int32_t);
+  bytes += weights_.size() * sizeof(double);
+  return bytes;
+}
+
 double PtaIndex::max_error() const {
   std::call_once(emax_->once, [this] {
     const ErrorContext ctx(input_, weights_, merge_across_gaps_);

@@ -109,6 +109,12 @@ class PtaIndex {
   /// The input relation the index was built over (leaves + metadata).
   const SequentialRelation& input() const { return input_; }
 
+  /// Approximate heap footprint in bytes: the leaves' columns plus the
+  /// recorded dendrogram (merge nodes, payloads, error curves). Ignores
+  /// small metadata (group keys, value names); this is the eviction
+  /// currency of the plan cache's byte budget (PtaIndexCacheConfig).
+  size_t MemoryFootprint() const;
+
   /// Largest possible error Emax = SSE at cmin (Def. 7's scale), computed
   /// with the exact arithmetic of ErrorContext::MaxError on first use.
   double max_error() const;

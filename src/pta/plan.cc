@@ -2,7 +2,9 @@
 
 #include <cstring>
 #include <deque>
+#include <future>
 #include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -214,21 +216,151 @@ void MixRelationGuard(Fnv64& h, const TemporalRelation& rel) {
   MixSampledRows(rel.size(), [&](size_t i) { MixTuple(h, rel.tuples()[i]); });
 }
 
-constexpr size_t kIndexCacheCapacity = 4;
-constexpr size_t kFingerprintMemory = 256;
+// One build in flight per fingerprint: the first miss creates the record
+// and builds; every concurrent miss on the same fingerprint blocks on the
+// shared future instead of duplicating the work.
+struct InFlightBuild {
+  struct Outcome {
+    std::shared_ptr<const PtaIndex> index;  // null when the build failed
+    Status status;
+    double build_seconds = 0.0;
+  };
+  std::promise<Outcome> promise;
+  std::shared_future<Outcome> future;
+};
+
+struct CacheEntry {
+  uint64_t fingerprint = 0;
+  /// The bound input address the index was built over — the key of
+  /// invalidation and pinning (not of lookup, which goes by fingerprint).
+  const void* input = nullptr;
+  size_t bytes = 0;
+  std::shared_ptr<const PtaIndex> index;
+};
 
 struct IndexCacheState {
   std::mutex mu;
-  /// Most recently used at the back; at most kIndexCacheCapacity entries.
-  std::deque<std::pair<uint64_t, std::shared_ptr<const PtaIndex>>> entries;
-  /// Fingerprints of executed plans (FIFO-bounded), driving kAuto routing.
+  /// Most recently used at the back; bounded by `config`.
+  std::deque<CacheEntry> entries;
+  size_t total_bytes = 0;
+  /// Fingerprints of executed plans driving kAuto routing. FIFO-bounded at
+  /// kPtaIndexFingerprintMemory, but a fingerprint with a live entry is
+  /// never evicted from `seen` — routing must agree with cache contents.
   std::deque<uint64_t> seen_order;
   std::unordered_set<uint64_t> seen;
+  /// Builds in progress, keyed by fingerprint (the coalescing map).
+  std::unordered_map<uint64_t, std::shared_ptr<InFlightBuild>> inflight;
+  /// Generation tag per bound input address; bumped by
+  /// PtaIndexCacheInvalidate and mixed into PlanFingerprint, so stale
+  /// fingerprints of mutated/reloaded data become unreachable. Entries are
+  /// kept after invalidation on purpose: resetting a freed address to
+  /// generation 0 would resurrect its old fingerprints.
+  std::unordered_map<const void*, uint64_t> generations;
+  /// Input addresses whose entries are exempt from budget eviction.
+  std::unordered_set<const void*> pinned;
+  PtaIndexCacheConfig config;
+  PtaIndexCacheStats stats;
+  std::function<void(uint64_t)> build_hook;
 };
 
 IndexCacheState& CacheState() {
   static IndexCacheState* state = new IndexCacheState();
   return *state;
+}
+
+bool HasEntryLocked(const IndexCacheState& state, uint64_t fingerprint) {
+  for (const CacheEntry& entry : state.entries) {
+    if (entry.fingerprint == fingerprint) return true;
+  }
+  return false;
+}
+
+void NoteFingerprintLocked(IndexCacheState& state, uint64_t fingerprint) {
+  if (!state.seen.insert(fingerprint).second) return;
+  state.seen_order.push_back(fingerprint);
+  // Trim dead fingerprints beyond the memory bound. Live ones (an index
+  // still cached) rotate to the back instead of being forgotten; the
+  // rotation bound keeps this terminating even if every remembered
+  // fingerprint is live (the memory then grows past the soft bound).
+  size_t rotations_left = state.seen_order.size();
+  while (state.seen_order.size() > kPtaIndexFingerprintMemory &&
+         rotations_left-- > 0) {
+    const uint64_t front = state.seen_order.front();
+    state.seen_order.pop_front();
+    if (HasEntryLocked(state, front)) {
+      state.seen_order.push_back(front);
+      continue;
+    }
+    state.seen.erase(front);
+  }
+}
+
+bool PinnedLocked(const IndexCacheState& state, const void* input) {
+  return state.pinned.count(input) > 0;
+}
+
+// Evicts least-recently-used unpinned entries until both budgets hold.
+// The entry with fingerprint `keep` (the one just inserted; pass a value
+// no fingerprint takes, e.g. when applying a config, to keep nothing
+// special) is never evicted: a cache whose budgets cannot fit the working
+// index must not thrash. Skipped (pinned/kept) entries make this a scan,
+// not a pop-front loop.
+void EvictToBudgetLocked(IndexCacheState& state, uint64_t keep,
+                         bool has_keep) {
+  const auto over_budget = [&] {
+    const size_t n = state.entries.size();
+    if (state.config.max_entries != 0 && n > state.config.max_entries) {
+      return true;
+    }
+    return state.config.max_bytes != 0 &&
+           state.total_bytes > state.config.max_bytes;
+  };
+  auto it = state.entries.begin();
+  while (over_budget() && it != state.entries.end()) {
+    if ((has_keep && it->fingerprint == keep) ||
+        PinnedLocked(state, it->input)) {
+      ++it;
+      continue;
+    }
+    state.total_bytes -= it->bytes;
+    ++state.stats.evictions;
+    it = state.entries.erase(it);
+  }
+}
+
+void InsertLocked(IndexCacheState& state, uint64_t fingerprint,
+                  const void* input, std::shared_ptr<const PtaIndex> index) {
+  for (auto it = state.entries.begin(); it != state.entries.end(); ++it) {
+    if (it->fingerprint == fingerprint) {
+      state.total_bytes -= it->bytes;
+      state.entries.erase(it);
+      break;
+    }
+  }
+  CacheEntry entry;
+  entry.fingerprint = fingerprint;
+  entry.input = input;
+  entry.bytes = index != nullptr ? index->MemoryFootprint() : 0;
+  entry.index = std::move(index);
+  state.total_bytes += entry.bytes;
+  state.entries.push_back(std::move(entry));
+  EvictToBudgetLocked(state, fingerprint, /*has_keep=*/true);
+  // An entry that survives eviction is live routing state: kAuto must see
+  // its fingerprint as executed for as long as the index is cached.
+  NoteFingerprintLocked(state, fingerprint);
+}
+
+std::shared_ptr<const PtaIndex> LookupLocked(IndexCacheState& state,
+                                             uint64_t fingerprint) {
+  for (auto it = state.entries.begin(); it != state.entries.end(); ++it) {
+    if (it->fingerprint == fingerprint) {
+      CacheEntry entry = std::move(*it);
+      state.entries.erase(it);
+      state.entries.push_back(std::move(entry));  // refresh LRU position
+      return state.entries.back().index;
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace
@@ -238,10 +370,12 @@ uint64_t PlanFingerprint(const PtaPlan& plan) {
   if (plan.sequential != nullptr) {
     h.U64(1);
     h.U64(reinterpret_cast<uintptr_t>(plan.sequential));
+    h.U64(internal::IndexCacheInputGeneration(plan.sequential));
     MixSequentialGuard(h, *plan.sequential);
   } else if (plan.relation != nullptr) {
     h.U64(2);
     h.U64(reinterpret_cast<uintptr_t>(plan.relation));
+    h.U64(internal::IndexCacheInputGeneration(plan.relation));
     MixRelationGuard(h, *plan.relation);
   } else {
     h.U64(3);
@@ -269,16 +403,81 @@ uint64_t PlanFingerprint(const PtaPlan& plan) {
   return h.value();
 }
 
+void PtaIndexCacheSetConfig(const PtaIndexCacheConfig& config) {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.config = config;
+  EvictToBudgetLocked(state, /*keep=*/0, /*has_keep=*/false);
+}
+
+PtaIndexCacheConfig PtaIndexCacheGetConfig() {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.config;
+}
+
 size_t PtaIndexCacheSize() {
   IndexCacheState& state = CacheState();
   std::lock_guard<std::mutex> lock(state.mu);
   return state.entries.size();
 }
 
+size_t PtaIndexCacheBytes() {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.total_bytes;
+}
+
+PtaIndexCacheStats PtaIndexCacheGetStats() {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.stats;
+}
+
+void PtaIndexCacheInvalidate(const void* input) {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  ++state.generations[input];
+  ++state.stats.invalidations;
+  // Drop the address's entries and forget their fingerprints: both are
+  // unreachable under the new generation, and keeping them would only
+  // occupy budget until LRU churn pushes them out. A build in flight for
+  // the old generation (started before this call) still completes and
+  // inserts a dead entry — harmless, evicted like any cold one.
+  for (auto it = state.entries.begin(); it != state.entries.end();) {
+    if (it->input == input) {
+      state.total_bytes -= it->bytes;
+      state.seen.erase(it->fingerprint);
+      for (auto o = state.seen_order.begin(); o != state.seen_order.end();
+           ++o) {
+        if (*o == it->fingerprint) {
+          state.seen_order.erase(o);
+          break;
+        }
+      }
+      it = state.entries.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PtaIndexCachePin(const void* input, bool pinned) {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (pinned) {
+    state.pinned.insert(input);
+  } else {
+    state.pinned.erase(input);
+    EvictToBudgetLocked(state, /*keep=*/0, /*has_keep=*/false);
+  }
+}
+
 void PtaIndexCacheClear() {
   IndexCacheState& state = CacheState();
   std::lock_guard<std::mutex> lock(state.mu);
   state.entries.clear();
+  state.total_bytes = 0;
   state.seen_order.clear();
   state.seen.clear();
 }
@@ -294,42 +493,123 @@ bool IndexCacheSawFingerprint(uint64_t fingerprint) {
 void IndexCacheNoteFingerprint(uint64_t fingerprint) {
   IndexCacheState& state = CacheState();
   std::lock_guard<std::mutex> lock(state.mu);
-  if (!state.seen.insert(fingerprint).second) return;
-  state.seen_order.push_back(fingerprint);
-  while (state.seen_order.size() > kFingerprintMemory) {
-    state.seen.erase(state.seen_order.front());
-    state.seen_order.pop_front();
-  }
+  NoteFingerprintLocked(state, fingerprint);
 }
 
 std::shared_ptr<const PtaIndex> IndexCacheLookup(uint64_t fingerprint) {
   IndexCacheState& state = CacheState();
   std::lock_guard<std::mutex> lock(state.mu);
-  for (auto it = state.entries.begin(); it != state.entries.end(); ++it) {
-    if (it->first == fingerprint) {
-      auto entry = *it;
-      state.entries.erase(it);
-      state.entries.push_back(entry);  // refresh LRU position
-      return entry.second;
-    }
-  }
-  return nullptr;
+  return LookupLocked(state, fingerprint);
 }
 
-void IndexCacheInsert(uint64_t fingerprint,
+void IndexCacheInsert(uint64_t fingerprint, const void* input,
                       std::shared_ptr<const PtaIndex> index) {
   IndexCacheState& state = CacheState();
   std::lock_guard<std::mutex> lock(state.mu);
-  for (auto it = state.entries.begin(); it != state.entries.end(); ++it) {
-    if (it->first == fingerprint) {
-      state.entries.erase(it);
-      break;
+  InsertLocked(state, fingerprint, input, std::move(index));
+}
+
+uint64_t IndexCacheInputGeneration(const void* input) {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  const auto it = state.generations.find(input);
+  return it == state.generations.end() ? 0 : it->second;
+}
+
+void SetIndexCacheBuildHook(std::function<void(uint64_t)> hook) {
+  IndexCacheState& state = CacheState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.build_hook = std::move(hook);
+}
+
+Result<std::shared_ptr<const PtaIndex>> IndexCacheGetOrBuild(
+    const PtaPlan& plan, PtaIndexRunStats* stats) {
+  const uint64_t fingerprint = PlanFingerprint(plan);
+  const void* input_address = plan.sequential != nullptr
+                                  ? static_cast<const void*>(plan.sequential)
+                                  : static_cast<const void*>(plan.relation);
+  IndexCacheState& state = CacheState();
+  std::shared_ptr<InFlightBuild> build;
+  bool owns_build = false;
+  std::function<void(uint64_t)> hook;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    if (auto cached = LookupLocked(state, fingerprint)) {
+      ++state.stats.hits;
+      NoteFingerprintLocked(state, fingerprint);
+      if (stats != nullptr) stats->cache_hit = true;
+      return cached;
+    }
+    const auto it = state.inflight.find(fingerprint);
+    if (it != state.inflight.end()) {
+      ++state.stats.coalesced;
+      build = it->second;
+    } else {
+      ++state.stats.misses;
+      ++state.stats.builds;
+      build = std::make_shared<InFlightBuild>();
+      build->future = build->promise.get_future().share();
+      state.inflight.emplace(fingerprint, build);
+      owns_build = true;
+      hook = state.build_hook;
     }
   }
-  state.entries.push_back({fingerprint, std::move(index)});
-  while (state.entries.size() > kIndexCacheCapacity) {
-    state.entries.pop_front();
+
+  if (!owns_build) {
+    // Another thread is building this fingerprint right now; wait for its
+    // outcome instead of duplicating the work (and the memory).
+    const InFlightBuild::Outcome& outcome = build->future.get();
+    if (!outcome.status.ok()) return outcome.status;
+    if (stats != nullptr) {
+      stats->coalesced = true;
+      stats->build_seconds = outcome.build_seconds;
+    }
+    return outcome.index;
   }
+
+  if (hook) hook(fingerprint);
+  InFlightBuild::Outcome outcome;
+  auto built = [&]() -> Result<PtaIndex> {
+    SequentialRelation input;
+    if (plan.sequential != nullptr) {
+      // Build() owns its leaves (the index must outlive the caller's
+      // relation inside the cache), so the input is copied once here.
+      input = *plan.sequential;
+    } else {
+      auto ita = Ita(*plan.relation, plan.spec);
+      if (!ita.ok()) return ita.status();
+      input = std::move(*ita);
+    }
+    PtaIndexOptions options;
+    options.weights = plan.greedy.weights;
+    options.merge_across_gaps = plan.greedy.merge_across_gaps;
+    options.num_threads = plan.parallel.num_threads;
+    PtaIndexBuildStats build_stats;
+    auto index = PtaIndex::Build(std::move(input), options, &build_stats);
+    outcome.build_seconds = build_stats.build_seconds;
+    return index;
+  }();
+
+  if (built.ok()) {
+    outcome.index = std::make_shared<const PtaIndex>(std::move(*built));
+  } else {
+    outcome.status = built.status();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.inflight.erase(fingerprint);
+    if (outcome.index != nullptr) {
+      InsertLocked(state, fingerprint, input_address, outcome.index);
+    } else {
+      // A failed build is not remembered; the next request retries.
+      --state.stats.builds;
+    }
+  }
+  // Fulfill outside the lock so woken waiters never contend on it.
+  build->promise.set_value(outcome);
+  if (!outcome.status.ok()) return outcome.status;
+  if (stats != nullptr) stats->build_seconds = outcome.build_seconds;
+  return outcome.index;
 }
 
 }  // namespace internal
@@ -491,46 +771,21 @@ Result<PtaResult> ExecParallelOverSequential(const PtaPlan& plan,
 // ---- the indexed backend (works for both input bindings) ---------------
 
 Result<PtaResult> ExecIndexed(const PtaPlan& plan, PtaRunStats* stats) {
-  const uint64_t fingerprint = PlanFingerprint(plan);
-  std::shared_ptr<const PtaIndex> index =
-      internal::IndexCacheLookup(fingerprint);
-  const bool cache_hit = index != nullptr;
-  PtaIndexBuildStats build_stats;
-  if (index == nullptr) {
-    SequentialRelation input;
-    if (plan.sequential != nullptr) {
-      // Build() owns its leaves (the index must outlive the caller's
-      // relation inside the cache), so the input is copied once here.
-      input = *plan.sequential;
-    } else {
-      auto ita = Ita(*plan.relation, plan.spec);
-      if (!ita.ok()) return ita.status();
-      input = std::move(*ita);
-    }
-    PtaIndexOptions options;
-    options.weights = plan.greedy.weights;
-    options.merge_across_gaps = plan.greedy.merge_across_gaps;
-    options.num_threads = plan.parallel.num_threads;
-    auto built = PtaIndex::Build(std::move(input), options, &build_stats);
-    if (!built.ok()) return built.status();
-    index = std::make_shared<const PtaIndex>(std::move(*built));
-    internal::IndexCacheInsert(fingerprint, index);
-  }
-  internal::IndexCacheNoteFingerprint(fingerprint);
+  PtaIndexRunStats* index_stats = stats != nullptr ? &stats->indexed : nullptr;
+  auto index = internal::IndexCacheGetOrBuild(plan, index_stats);
+  if (!index.ok()) return index.status();
 
   Stopwatch cut_watch;
   auto cut = plan.budget.is_size()
-                 ? index->CutToSize(plan.budget.size())
-                 : index->CutToError(plan.budget.relative_error());
+                 ? (*index)->CutToSize(plan.budget.size())
+                 : (*index)->CutToError(plan.budget.relative_error());
   if (stats != nullptr) {
-    stats->indexed.cache_hit = cache_hit;
-    stats->indexed.build_seconds = build_stats.build_seconds;
     stats->indexed.cut_seconds = cut_watch.ElapsedSeconds();
   }
   // The cut carries the index's leaf metadata (group keys, value names);
   // ita_size is the leaf count — on a cache hit the re-budget run skipped
   // ITA entirely, which is exactly the fast path being advertised.
-  return FromReduction(std::move(cut), index->input_size());
+  return FromReduction(std::move(cut), (*index)->input_size());
 }
 
 }  // namespace

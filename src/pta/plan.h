@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -63,6 +64,12 @@ const char* EngineName(Engine engine);
 /// Largest input (base tuples or pre-aggregated segments) for which
 /// Engine::kAuto picks the exact dynamic program over the greedy reducer.
 inline constexpr size_t kAutoExactDpMaxInput = 4096;
+
+/// How many executed budget-stripped fingerprints the index cache
+/// remembers for kAuto's re-budgeting upgrade. The memory is FIFO over
+/// *dead* fingerprints only: a fingerprint whose index is still cached is
+/// never forgotten, so kAuto routing and cache contents cannot disagree.
+inline constexpr size_t kPtaIndexFingerprintMemory = 256;
 
 /// \brief The reduction budget of a PTA query: size-bounded (Def. 6) or
 /// relative-error-bounded (Def. 7).
@@ -152,7 +159,11 @@ struct PtaResult {
 struct PtaIndexRunStats {
   /// True when the plan-fingerprint cache already held the built index.
   bool cache_hit = false;
-  /// Wall time of the index construction; 0 on a cache hit.
+  /// True when this run missed but joined another thread's in-flight build
+  /// of the same fingerprint instead of building its own copy.
+  bool coalesced = false;
+  /// Wall time of the index construction; 0 on a cache hit. A coalesced
+  /// run reports the shared build's duration (what it waited on).
   double build_seconds = 0.0;
   /// Wall time of the O(k) budget cut itself.
   double cut_seconds = 0.0;
@@ -217,39 +228,112 @@ struct PtaPlan {
 /// \brief Budget-stripped fingerprint of a plan (FNV-1a, 64-bit).
 ///
 /// Hashes what determines an index's content — the input binding (pointer,
-/// size, and a sampled-row content guard: the boundary rows plus evenly
-/// spaced interior rows), the ItaSpec, the effective
-/// weights, and the gap-merging flag — but *not* the budget, the engine, or
-/// engine tuning that cannot change a reduction's merge order. Two plans
-/// with equal fingerprints answer every budget from the same PtaIndex;
-/// this is the key of the process-wide index cache below and of the kAuto
-/// re-budgeting upgrade.
+/// its current *generation* tag, size, and a sampled-row content guard: the
+/// boundary rows plus evenly spaced interior rows), the ItaSpec, the
+/// effective weights, and the gap-merging flag — but *not* the budget, the
+/// engine, or engine tuning that cannot change a reduction's merge order.
+/// Two plans with equal fingerprints answer every budget from the same
+/// PtaIndex; this is the key of the process-wide index cache below and of
+/// the kAuto re-budgeting upgrade.
+///
+/// The sampled-row guard is a heuristic, not a proof: mutating a row the
+/// sample misses (or reloading same-shaped data at a reused address) leaves
+/// the fingerprint unchanged. The generation tag closes that hole — callers
+/// that mutate or replace a bound input MUST announce it with
+/// PtaIndexCacheInvalidate(input), which bumps the tag and makes every
+/// prior fingerprint of that address unreachable.
 uint64_t PlanFingerprint(const PtaPlan& plan);
+
+/// \brief Capacity limits of the process-wide index cache.
+struct PtaIndexCacheConfig {
+  /// Upper bound on cached indexes, LRU-evicted beyond it; 0 = unlimited.
+  /// Pinned datasets' entries are exempt (see PtaIndexCachePin).
+  size_t max_entries = 4;
+  /// Approximate byte budget over PtaIndex::MemoryFootprint(); 0 =
+  /// unlimited. Eviction under memory pressure drops least-recently-used
+  /// unpinned entries but never the one just inserted — a cache too small
+  /// for the working index would otherwise thrash on every request.
+  size_t max_bytes = 0;
+};
+
+/// Replaces the cache limits and immediately evicts down to them.
+void PtaIndexCacheSetConfig(const PtaIndexCacheConfig& config);
+PtaIndexCacheConfig PtaIndexCacheGetConfig();
 
 /// Number of built PtaIndex instances currently held by the process-wide
 /// plan cache (observability; also used by tests).
 size_t PtaIndexCacheSize();
 
-/// Drops every cached index and all re-execution fingerprints. Call when
-/// an input relation is about to be destroyed and its address may be
-/// reused for different data (the cache guards against stale hits with a
-/// size + boundary-row check, but a hash guard is not a proof).
+/// Approximate bytes held by the cache (sum of entry footprints).
+size_t PtaIndexCacheBytes();
+
+/// \brief Monotonic counters of the process-wide index cache.
+struct PtaIndexCacheStats {
+  /// Lookups answered from a cached index.
+  uint64_t hits = 0;
+  /// Lookups that found neither an entry nor an in-flight build.
+  uint64_t misses = 0;
+  /// Actual PtaIndex constructions (== misses unless a build failed).
+  uint64_t builds = 0;
+  /// Lookups that joined another thread's in-flight build instead of
+  /// duplicating it (the thundering-herd path).
+  uint64_t coalesced = 0;
+  /// Entries dropped by the entry or byte budget.
+  uint64_t evictions = 0;
+  /// PtaIndexCacheInvalidate calls (generation bumps).
+  uint64_t invalidations = 0;
+};
+PtaIndexCacheStats PtaIndexCacheGetStats();
+
+/// Announces that the data behind `input` (a TemporalRelation* or
+/// SequentialRelation* previously bound to a plan) changed or is about to
+/// be freed: bumps the address's generation tag — so every fingerprint
+/// computed before is unreachable — and drops the address's cached indexes
+/// and re-execution fingerprints. This is the invalidation contract that
+/// makes the pointer-keyed cache safe: mutate, then invalidate, then query.
+void PtaIndexCacheInvalidate(const void* input);
+
+/// Pins (or unpins) every cache entry built over `input`: pinned entries
+/// are exempt from entry- and byte-budget eviction (explicit invalidation
+/// and Clear still drop them). Serving layers pin their hot datasets.
+void PtaIndexCachePin(const void* input, bool pinned);
+
+/// Drops every cached index and all re-execution fingerprints. Generation
+/// tags and pins survive — clearing frees memory, it does not reset the
+/// invalidation history an address has accumulated.
 void PtaIndexCacheClear();
 
 class PtaIndex;  // pta/index.h
 
 namespace internal {
 // The plan cache's raw surface, shared by the planner (kAuto upgrade in
-// pta/query.cc) and the kIndexed executor (pta/plan.cc). Thread-safe.
+// pta/query.cc), the kIndexed executor (pta/plan.cc), and the serving
+// layer (src/serve/). Thread-safe.
 /// True when Execute() already recorded this budget-stripped fingerprint.
 bool IndexCacheSawFingerprint(uint64_t fingerprint);
 /// Records that a query shape with this fingerprint executed.
 void IndexCacheNoteFingerprint(uint64_t fingerprint);
 /// The cached index for the fingerprint, or nullptr.
 std::shared_ptr<const PtaIndex> IndexCacheLookup(uint64_t fingerprint);
-/// Inserts a built index (LRU-evicting the oldest beyond the capacity).
-void IndexCacheInsert(uint64_t fingerprint,
+/// Inserts a built index over the plan input `input` (LRU-evicting beyond
+/// the configured budgets; `input` keys invalidation and pinning).
+void IndexCacheInsert(uint64_t fingerprint, const void* input,
                       std::shared_ptr<const PtaIndex> index);
+/// Current generation tag of a bound input address (0 until invalidated).
+uint64_t IndexCacheInputGeneration(const void* input);
+/// The coalesced miss path: returns the cached index for the plan's
+/// fingerprint, joining an in-flight build when one exists, and otherwise
+/// builds exactly once — concurrent misses on one fingerprint trigger a
+/// single PtaIndex construction; the others block on its shared future.
+/// On success the index is inserted and the fingerprint noted. `stats`
+/// (optional) reports cache_hit / coalesced / build_seconds.
+Result<std::shared_ptr<const PtaIndex>> IndexCacheGetOrBuild(
+    const PtaPlan& plan, PtaIndexRunStats* stats);
+/// Test hook, invoked once per actual index construction with the build's
+/// fingerprint (before the build starts, outside the cache lock). Pass
+/// nullptr to reset. Not for production use: set it only while no builds
+/// are in flight.
+void SetIndexCacheBuildHook(std::function<void(uint64_t)> hook);
 }  // namespace internal
 
 }  // namespace pta

@@ -1,0 +1,264 @@
+#include "serve/server.h"
+
+#include <shared_mutex>
+#include <utility>
+
+#include "pta/index.h"
+
+namespace pta {
+
+namespace serve_internal {
+
+// The served data lives inside optionals so its address — the key of the
+// index cache's fingerprints, pins, and generation tags — is stable for
+// the dataset's whole lifetime, across in-place updates. Exactly one of
+// the two optionals is engaged, fixed at registration.
+struct Dataset {
+  std::string name;
+  /// Queries hold this shared; UpdateDataset/DropDataset hold it
+  /// exclusive. Mutations therefore never race an index build reading the
+  /// data, and queries on distinct datasets never contend.
+  mutable std::shared_mutex mu;
+  std::optional<TemporalRelation> relation;
+  std::optional<SequentialRelation> sequential;
+
+  const void* address() const {
+    return relation.has_value() ? static_cast<const void*>(&*relation)
+                                : static_cast<const void*>(&*sequential);
+  }
+};
+
+}  // namespace serve_internal
+
+using serve_internal::Dataset;
+
+// ---- PtaSession ---------------------------------------------------------
+
+PtaSession::PtaSession(PtaServer* server, std::shared_ptr<Dataset> dataset,
+                       ItaSpec spec, std::vector<double> weights)
+    : server_(server),
+      dataset_(std::move(dataset)),
+      spec_(std::move(spec)),
+      weights_(std::move(weights)) {}
+
+const std::string& PtaSession::dataset() const {
+  static const std::string kEmpty;
+  return dataset_ != nullptr ? dataset_->name : kEmpty;
+}
+
+PtaQuery PtaSession::MakeQuery() const {
+  PtaQuery query = dataset_->relation.has_value()
+                       ? PtaQuery::Over(*dataset_->relation)
+                       : PtaQuery::OverSequential(*dataset_->sequential);
+  query.Spec(spec_).Engine(Engine::kIndexed);
+  if (!weights_.empty()) query.Weights(weights_);
+  return query;
+}
+
+Result<PtaResult> PtaSession::Cut(Budget budget, PtaRunStats* stats) const {
+  if (dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "empty session; obtain sessions from PtaServer::OpenSession");
+  }
+  std::shared_lock<std::shared_mutex> lock(dataset_->mu);
+  return MakeQuery().WithBudget(budget).Run(stats);
+}
+
+Result<std::future<Result<PtaResult>>> PtaSession::CutAsync(
+    Budget budget) const {
+  if (dataset_ == nullptr || server_ == nullptr) {
+    return Status::FailedPrecondition(
+        "empty session; obtain sessions from PtaServer::OpenSession");
+  }
+  return server_->Submit(*this, budget);
+}
+
+Result<std::vector<Reduction>> PtaSession::ZoomLadder(
+    const std::vector<size_t>& sizes) const {
+  if (dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "empty session; obtain sessions from PtaServer::OpenSession");
+  }
+  std::shared_lock<std::shared_mutex> lock(dataset_->mu);
+  // The ladder carries its own sizes; the plan's budget is a placeholder
+  // that only shapes validation, never a cut (fingerprints are
+  // budget-stripped, so it does not fragment the cache either).
+  auto plan = MakeQuery().Budget(Budget::Size(1)).Plan();
+  if (!plan.ok()) return plan.status();
+  auto index = internal::IndexCacheGetOrBuild(*plan, nullptr);
+  if (!index.ok()) return index.status();
+  return (*index)->MultiBudgetCut(sizes);
+}
+
+// ---- PtaServer ----------------------------------------------------------
+
+PtaServer::PtaServer(ServeOptions options)
+    : options_(std::move(options)), pool_(options_.num_threads) {
+  if (options_.cache_config.has_value()) {
+    PtaIndexCacheSetConfig(*options_.cache_config);
+  }
+}
+
+PtaServer::~PtaServer() {
+  // pool_ is the first member destroyed (declared last); its destructor
+  // drains every admitted request before the registry goes away.
+}
+
+std::shared_ptr<Dataset> PtaServer::Find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second;
+}
+
+namespace {
+
+Status ValidateName(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("dataset name must be non-empty");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status PtaServer::AddDataset(std::string name, TemporalRelation data) {
+  PTA_RETURN_IF_ERROR(ValidateName(name));
+  auto dataset = std::make_shared<Dataset>();
+  dataset->name = name;
+  dataset->relation.emplace(std::move(data));
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!datasets_.emplace(std::move(name), std::move(dataset)).second) {
+    return Status::InvalidArgument("dataset already registered");
+  }
+  return Status::Ok();
+}
+
+Status PtaServer::AddDataset(std::string name, SequentialRelation data) {
+  PTA_RETURN_IF_ERROR(ValidateName(name));
+  auto dataset = std::make_shared<Dataset>();
+  dataset->name = name;
+  dataset->sequential.emplace(std::move(data));
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  if (!datasets_.emplace(std::move(name), std::move(dataset)).second) {
+    return Status::InvalidArgument("dataset already registered");
+  }
+  return Status::Ok();
+}
+
+Status PtaServer::UpdateDataset(const std::string& name,
+                                TemporalRelation data) {
+  auto dataset = Find(name);
+  if (dataset == nullptr) return Status::NotFound("unknown dataset: " + name);
+  if (!dataset->relation.has_value()) {
+    return Status::InvalidArgument(
+        "dataset is sequential; update it with a SequentialRelation");
+  }
+  std::unique_lock<std::shared_mutex> lock(dataset->mu);
+  *dataset->relation = std::move(data);
+  // Same address, new contents: bump the generation so every index built
+  // over the old data is unreachable. This runs under the exclusive lock,
+  // so a query can never fingerprint new data against an old generation.
+  PtaIndexCacheInvalidate(dataset->address());
+  return Status::Ok();
+}
+
+Status PtaServer::UpdateDataset(const std::string& name,
+                                SequentialRelation data) {
+  auto dataset = Find(name);
+  if (dataset == nullptr) return Status::NotFound("unknown dataset: " + name);
+  if (!dataset->sequential.has_value()) {
+    return Status::InvalidArgument(
+        "dataset is temporal; update it with a TemporalRelation");
+  }
+  std::unique_lock<std::shared_mutex> lock(dataset->mu);
+  *dataset->sequential = std::move(data);
+  PtaIndexCacheInvalidate(dataset->address());
+  return Status::Ok();
+}
+
+Status PtaServer::DropDataset(const std::string& name) {
+  std::shared_ptr<Dataset> dataset;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    const auto it = datasets_.find(name);
+    if (it == datasets_.end()) {
+      return Status::NotFound("unknown dataset: " + name);
+    }
+    dataset = std::move(it->second);
+    datasets_.erase(it);
+  }
+  // The address may be freed (and reused) once the last session releases
+  // the dataset; invalidating here makes every old fingerprint of it
+  // unreachable first, and the unpin stops exempting dead entries.
+  std::unique_lock<std::shared_mutex> lock(dataset->mu);
+  PtaIndexCachePin(dataset->address(), false);
+  PtaIndexCacheInvalidate(dataset->address());
+  return Status::Ok();
+}
+
+Status PtaServer::PinDataset(const std::string& name, bool pinned) {
+  auto dataset = Find(name);
+  if (dataset == nullptr) return Status::NotFound("unknown dataset: " + name);
+  std::shared_lock<std::shared_mutex> lock(dataset->mu);
+  PtaIndexCachePin(dataset->address(), pinned);
+  return Status::Ok();
+}
+
+Result<PtaSession> PtaServer::OpenSession(const std::string& dataset,
+                                          ItaSpec spec,
+                                          std::vector<double> weights) {
+  auto handle = Find(dataset);
+  if (handle == nullptr) {
+    return Status::NotFound("unknown dataset: " + dataset);
+  }
+  PtaSession session(this, std::move(handle), std::move(spec),
+                     std::move(weights));
+  // Validate the shape eagerly — a malformed session would otherwise fail
+  // on every request, after admission already spent queue capacity on it.
+  std::shared_lock<std::shared_mutex> lock(session.dataset_->mu);
+  auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
+  if (!plan.ok()) return plan.status();
+  lock.unlock();
+  return session;
+}
+
+Result<std::future<Result<PtaResult>>> PtaServer::Submit(PtaSession session,
+                                                         Budget budget) {
+  auto promise = std::make_shared<std::promise<Result<PtaResult>>>();
+  std::future<Result<PtaResult>> future = promise->get_future();
+  const bool admitted = pool_.TrySubmit(
+      [this, promise, session = std::move(session), budget] {
+        auto result = session.Cut(budget);
+        if (result.ok()) {
+          completed_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed_.fetch_add(1, std::memory_order_relaxed);
+        }
+        promise->set_value(std::move(result));
+      },
+      options_.max_pending);
+  if (!admitted) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "serving queue is full (max_pending = " +
+        std::to_string(options_.max_pending) + "); retry later");
+  }
+  admitted_.fetch_add(1, std::memory_order_relaxed);
+  return future;
+}
+
+PtaServerStats PtaServer::stats() const {
+  PtaServerStats out;
+  out.admitted = admitted_.load(std::memory_order_relaxed);
+  out.shed = shed_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  out.failed = failed_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    out.datasets = datasets_.size();
+  }
+  out.pending = pool_.pending();
+  return out;
+}
+
+}  // namespace pta

@@ -18,6 +18,8 @@ const char* CodeName(StatusCode code) {
       return "NotFound";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotFound,
   kIoError,
+  kResourceExhausted,
 };
 
 /// \brief Result of an operation that can fail.
@@ -48,6 +49,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

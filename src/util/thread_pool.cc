@@ -39,6 +39,24 @@ void ThreadPool::Submit(std::function<void()> task) {
   task_ready_.notify_one();
 }
 
+bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_pending) {
+  PTA_CHECK_MSG(task != nullptr, "cannot submit an empty task");
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    PTA_CHECK_MSG(!stop_, "TrySubmit after pool shutdown");
+    if (max_pending != 0 && outstanding_ >= max_pending) return false;
+    queue_.push_back(std::move(task));
+    ++outstanding_;
+  }
+  task_ready_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::pending() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return outstanding_;
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return outstanding_ == 0; });

@@ -41,6 +41,19 @@ class ThreadPool {
   /// Enqueues one task. Must not be called concurrently with destruction.
   void Submit(std::function<void()> task);
 
+  /// Enqueues `task` only when fewer than `max_pending` tasks are queued or
+  /// running (0 means no bound); returns false — dropping the task — when
+  /// the pool is already that loaded. The admission check and the enqueue
+  /// happen atomically under the queue lock, so concurrent TrySubmit calls
+  /// never overshoot the bound: this is the shedding primitive of the
+  /// serving layer's backpressure (src/serve/).
+  bool TrySubmit(std::function<void()> task, size_t max_pending);
+
+  /// Tasks queued plus currently running — the admission-control load
+  /// signal. A snapshot: concurrent Submit/completion can change it before
+  /// the caller acts on the value.
+  size_t pending() const;
+
   /// Blocks until every task submitted so far has completed.
   void Wait();
 
@@ -56,7 +69,7 @@ class ThreadPool {
 
   size_t num_threads_;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_ready_;   // signalled on Submit / stop
   std::condition_variable all_done_;     // signalled when outstanding_ hits 0
   std::deque<std::function<void()>> queue_;

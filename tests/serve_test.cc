@@ -1,0 +1,323 @@
+// The serving layer (src/serve/): PtaServer dataset lifecycle, session
+// requests (sync, async, zoom ladders), byte-identity of concurrently
+// served cuts against the single-threaded GMS reducers, the
+// update-then-invalidate contract, and admission control / shedding.
+// Runs under TSan via scripts/ci.sh --tsan (label `serve`).
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/ita.h"
+#include "datasets/synthetic.h"
+#include "pta/greedy.h"
+#include "test_util.h"
+
+namespace pta {
+namespace {
+
+using testing::ExpectByteIdentical;
+
+TemporalRelation MakeFleet() {
+  SyntheticOptions options;
+  options.num_tuples = 1200;
+  options.num_dims = 2;
+  options.num_groups = 8;
+  options.max_duration = 20;
+  options.time_span = 400;
+  options.seed = 77;
+  return GenerateSyntheticRelation(options);
+}
+
+ItaSpec FleetSpec() {
+  return {{"G"}, {Avg("A1", "Avg1"), Avg("A2", "Avg2")}};
+}
+
+SequentialRelation MakeSequential(uint64_t seed, double scale = 1.0) {
+  SequentialRelation rel(1, {"V"});
+  for (size_t i = 0; i < 200; ++i) {
+    double v = scale * static_cast<double>((i * seed + 3) % 41);
+    rel.Append(0, Interval(static_cast<Chronon>(i), static_cast<Chronon>(i)),
+               &v);
+  }
+  rel.SetGroupKeys({GroupKey{Value(static_cast<int64_t>(0))}});
+  return rel;
+}
+
+// ---- registry lifecycle ------------------------------------------------
+
+TEST(PtaServerTest, RegistryLifecycle) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  EXPECT_EQ(server.AddDataset("", MakeSequential(1)).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(server.AddDataset("fleet", MakeFleet()).ok());
+  EXPECT_EQ(server.AddDataset("fleet", MakeFleet()).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.OpenSession("nope", FleetSpec()).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(server.DropDataset("nope").code(), StatusCode::kNotFound);
+  EXPECT_EQ(server.stats().datasets, 1u);
+  ASSERT_TRUE(server.DropDataset("fleet").ok());
+  EXPECT_EQ(server.stats().datasets, 0u);
+  EXPECT_EQ(server.OpenSession("fleet", FleetSpec()).status().code(),
+            StatusCode::kNotFound);
+  // Kind mismatch on update is rejected before any swap happens.
+  ASSERT_TRUE(server.AddDataset("seq", MakeSequential(1)).ok());
+  EXPECT_EQ(server.UpdateDataset("seq", MakeFleet()).code(),
+            StatusCode::kInvalidArgument);
+  PtaIndexCacheClear();
+}
+
+TEST(PtaServerTest, EmptySessionFailsPrecondition) {
+  PtaSession session;
+  EXPECT_EQ(session.Cut(Budget::Size(4)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.CutAsync(Budget::Size(4)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.ZoomLadder({4, 8}).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.dataset(), "");
+}
+
+TEST(PtaServerTest, OpenSessionValidatesSpecEagerly) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("fleet", MakeFleet()).ok());
+  // A group-by column the schema does not have fails at OpenSession, not
+  // at the first admitted request.
+  auto bad = server.OpenSession("fleet", {{"NoSuch"}, {Avg("A1", "Avg1")}});
+  EXPECT_FALSE(bad.ok());
+  PtaIndexCacheClear();
+}
+
+// ---- served cuts vs. the single-threaded reducers ----------------------
+
+TEST(PtaServerTest, SyncCutMatchesGms) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("fleet", MakeFleet()).ok());
+  auto session = server.OpenSession("fleet", FleetSpec());
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_EQ(session->dataset(), "fleet");
+
+  PtaRunStats stats;
+  const auto served = session->Cut(Budget::Size(64), &stats);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_EQ(stats.engine, Engine::kIndexed);
+
+  const TemporalRelation fleet = MakeFleet();
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+  auto gms = GmsReduceToSize(*ita, 64);
+  ASSERT_TRUE(gms.ok());
+  ExpectByteIdentical(served->relation, gms->relation);
+  EXPECT_EQ(served->error, gms->error);
+  PtaIndexCacheClear();
+}
+
+TEST(PtaServerTest, EightConcurrentSessionsShareOneBuildByteIdentically) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("fleet", MakeFleet()).ok());
+
+  const TemporalRelation fleet = MakeFleet();
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+  const size_t budgets[] = {32, 48, 64, 96, 128, 64, 48, 32};
+  std::vector<Result<Reduction>> refs;
+  for (const size_t c : budgets) {
+    refs.push_back(GmsReduceToSize(*ita, c));
+    ASSERT_TRUE(refs.back().ok());
+  }
+
+  const auto before = PtaIndexCacheGetStats();
+  constexpr int kSessions = 8;
+  std::vector<std::optional<Result<PtaResult>>> results(kSessions);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&server, &results, &budgets, i] {
+      auto session = server.OpenSession("fleet", FleetSpec());
+      if (!session.ok()) {
+        results[i].emplace(session.status());
+        return;
+      }
+      results[i].emplace(session->Cut(Budget::Size(budgets[i])));
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_TRUE(results[i].has_value());
+    ASSERT_TRUE(results[i]->ok()) << (*results[i]).status().ToString();
+    ExpectByteIdentical((**results[i]).relation, refs[i]->relation);
+    EXPECT_EQ((**results[i]).error, refs[i]->error);
+  }
+  // All eight sessions share one fingerprint: exactly one index build,
+  // every other request either coalesced onto it or hit the cache.
+  const auto after = PtaIndexCacheGetStats();
+  EXPECT_EQ(after.builds, before.builds + 1);
+  EXPECT_EQ(PtaIndexCacheSize(), 1u);
+  PtaIndexCacheClear();
+}
+
+TEST(PtaServerTest, ZoomLadderMatchesPerBudgetCuts) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("fleet", MakeFleet()).ok());
+  auto session = server.OpenSession("fleet", FleetSpec());
+  ASSERT_TRUE(session.ok());
+
+  const std::vector<size_t> sizes = {32, 64, 256};  // fleet cmin is 22
+  auto ladder = session->ZoomLadder(sizes);
+  ASSERT_TRUE(ladder.ok()) << ladder.status().ToString();
+  ASSERT_EQ(ladder->size(), sizes.size());
+
+  const TemporalRelation fleet = MakeFleet();
+  auto ita = Ita(fleet, FleetSpec());
+  ASSERT_TRUE(ita.ok());
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    auto gms = GmsReduceToSize(*ita, sizes[i]);
+    ASSERT_TRUE(gms.ok());
+    ExpectByteIdentical((*ladder)[i].relation, gms->relation);
+    EXPECT_EQ((*ladder)[i].error, gms->error);
+  }
+  PtaIndexCacheClear();
+}
+
+// ---- async requests, admission control, counters -----------------------
+
+TEST(PtaServerTest, CutAsyncCompletesAndCounts) {
+  PtaIndexCacheClear();
+  ServeOptions options;
+  options.num_threads = 2;
+  PtaServer server(options);
+  ASSERT_TRUE(server.AddDataset("seq", MakeSequential(5)).ok());
+  auto session = server.OpenSession("seq", ItaSpec{});
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+  auto pending = session->CutAsync(Budget::Size(16));
+  ASSERT_TRUE(pending.ok()) << pending.status().ToString();
+  auto result = pending->get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto gms = GmsReduceToSize(MakeSequential(5), 16);
+  ASSERT_TRUE(gms.ok());
+  ExpectByteIdentical(result->relation, gms->relation);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_EQ(stats.failed, 0u);
+  PtaIndexCacheClear();
+}
+
+TEST(PtaServerTest, AdmissionShedsWhenQueueIsFull) {
+  PtaIndexCacheClear();
+  ServeOptions options;
+  options.num_threads = 1;
+  options.max_pending = 1;
+  PtaServer server(options);
+  ASSERT_TRUE(server.AddDataset("seq", MakeSequential(9)).ok());
+  auto session = server.OpenSession("seq", ItaSpec{});
+  ASSERT_TRUE(session.ok());
+
+  // Park the only worker inside the index build so the first request stays
+  // in flight for as long as the test needs.
+  std::promise<void> release;
+  std::shared_future<void> gate(release.get_future());
+  internal::SetIndexCacheBuildHook([gate](uint64_t) { gate.wait(); });
+
+  auto first = session->CutAsync(Budget::Size(16));
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = session->CutAsync(Budget::Size(32));
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+
+  release.set_value();
+  auto result = first->get();
+  internal::SetIndexCacheBuildHook(nullptr);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.shed, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+  PtaIndexCacheClear();
+}
+
+// ---- mutation: update-then-invalidate, drop semantics ------------------
+
+TEST(PtaServerTest, UpdateDatasetServesFreshBytes) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("seq", MakeSequential(3)).ok());
+  auto session = server.OpenSession("seq", ItaSpec{});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session->Cut(Budget::Size(16)).ok());  // index over v1 cached
+
+  // In-place swap: same bound address, new contents, generation bumped.
+  ASSERT_TRUE(server.UpdateDataset("seq", MakeSequential(3, 7.5)).ok());
+  PtaRunStats stats;
+  const auto served = session->Cut(Budget::Size(16), &stats);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_FALSE(stats.indexed.cache_hit);  // the old index is unreachable
+  auto gms = GmsReduceToSize(MakeSequential(3, 7.5), 16);
+  ASSERT_TRUE(gms.ok());
+  ExpectByteIdentical(served->relation, gms->relation);
+  EXPECT_EQ(served->error, gms->error);
+  PtaIndexCacheClear();
+}
+
+TEST(PtaServerTest, OpenSessionsSurviveDrop) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("seq", MakeSequential(11)).ok());
+  auto session = server.OpenSession("seq", ItaSpec{});
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(server.DropDataset("seq").ok());
+  // The session holds shared ownership of the data; its cuts still work.
+  const auto served = session->Cut(Budget::Size(16));
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  auto gms = GmsReduceToSize(MakeSequential(11), 16);
+  ASSERT_TRUE(gms.ok());
+  ExpectByteIdentical(served->relation, gms->relation);
+  PtaIndexCacheClear();
+}
+
+TEST(PtaServerTest, PinDatasetSurvivesCapacityPressure) {
+  PtaIndexCacheClear();
+  const PtaIndexCacheConfig saved = PtaIndexCacheGetConfig();
+  ServeOptions options;
+  PtaIndexCacheConfig cache;
+  cache.max_entries = 1;
+  options.cache_config = cache;
+  PtaServer server(options);
+  ASSERT_TRUE(server.AddDataset("hot", MakeSequential(13)).ok());
+  ASSERT_TRUE(server.AddDataset("cold", MakeSequential(17)).ok());
+  ASSERT_TRUE(server.PinDataset("hot", true).ok());
+
+  auto hot = server.OpenSession("hot", ItaSpec{});
+  auto cold = server.OpenSession("cold", ItaSpec{});
+  ASSERT_TRUE(hot.ok());
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(hot->Cut(Budget::Size(16)).ok());
+  ASSERT_TRUE(cold->Cut(Budget::Size(16)).ok());  // would evict, but hot is pinned
+  PtaRunStats stats;
+  ASSERT_TRUE(hot->Cut(Budget::Size(32), &stats).ok());
+  EXPECT_TRUE(stats.indexed.cache_hit);
+
+  ASSERT_TRUE(server.PinDataset("hot", false).ok());
+  PtaIndexCacheSetConfig(saved);
+  PtaIndexCacheClear();
+}
+
+}  // namespace
+}  // namespace pta
