@@ -4,11 +4,22 @@
 // relation from CSV (columns: declared attributes..., tb, te), evaluates a
 // PTA query, and writes the reduced relation back as CSV.
 //
-// Usage:
-//   pta_csv_tool --input data.csv --schema Dept:string,Sal:double
-//                --group-by Dept --agg avg:Sal:AvgSal
-//                (--size 100 | --error 0.05) [--greedy] [--delta 1]
-//                [--merge-across-gaps] [--output out.csv]
+// Two ways to state the query:
+//   * PTA-QL (docs/QUERY_LANGUAGE.md):
+//       pta_csv_tool --input data.csv --schema Dept:string,Sal:double
+//                    --query "SELECT AVG(Sal) AS AvgSal FROM input
+//                             GROUP BY Dept BUDGET SIZE 100"
+//     (--query-file reads the statement from a file; the relation is
+//     registered under "input" and under the input file's stem)
+//   * classic flags:
+//       pta_csv_tool --input data.csv --schema Dept:string,Sal:double
+//                    --group-by Dept --agg avg:Sal:AvgSal
+//                    (--size 100 | --error 0.05) [--greedy] [--delta 1]
+//                    [--merge-across-gaps]
+//
+// Exit codes: 0 success; 2 for malformed flags or a malformed/invalid
+// query (one-line "error: <msg>[ at <line>:<col>]" on stderr); 1 for
+// runtime failures (I/O, engine errors).
 //
 // With no arguments the tool runs a built-in demo on the paper's running
 // example so that `./pta_csv_tool` is self-explanatory.
@@ -16,11 +27,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "datasets/csv.h"
 #include "pta/pta.h"
+#include "ql/ql.h"
 
 namespace {
 
@@ -32,6 +46,8 @@ struct Args {
   std::string schema;
   std::string group_by;
   std::vector<std::string> aggs;
+  std::string query;
+  std::string query_file;
   size_t size = 0;
   double error = -1.0;
   bool greedy = false;
@@ -39,16 +55,33 @@ struct Args {
   bool merge_across_gaps = false;
 };
 
-void Usage(const char* argv0) {
+void Usage(FILE* out, const char* argv0) {
   std::fprintf(
-      stderr,
-      "usage: %s --input FILE --schema NAME:TYPE[,...] [--group-by A[,...]]\n"
-      "          --agg KIND:ATTR:OUT [--agg ...] (--size C | --error EPS)\n"
-      "          [--greedy] [--delta N] [--merge-across-gaps]\n"
+      out,
+      "usage: %s --input FILE --schema NAME:TYPE[,...]\n"
+      "          (--query STMT | --query-file FILE |\n"
+      "           --agg KIND:ATTR:OUT [--agg ...] [--group-by A[,...]]\n"
+      "           (--size C | --error EPS) [--greedy] [--delta N]\n"
+      "           [--merge-across-gaps])\n"
       "          [--output FILE]\n"
       "types: int64, double, string; kinds: avg, sum, count, min, max\n"
+      "PTA-QL: SELECT AVG(Sal) AS X FROM input [WHERE ...] [GROUP BY ...]\n"
+      "        [WITH TIME(b, e)] BUDGET SIZE c | BUDGET ERROR eps\n"
+      "        [USING ENGINE exact|greedy|parallel|streaming|indexed|auto]\n"
       "(run without arguments for a built-in demo)\n",
       argv0);
+}
+
+// Malformed command line or query: one-line diagnostic, exit 2.
+int FlagError(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 2;
+}
+
+// Runtime failure (I/O, engine): one-line diagnostic, exit 1.
+int RunError(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
 }
 
 std::vector<std::string> Split(const std::string& s, char sep) {
@@ -106,6 +139,114 @@ bool ParseAgg(const std::string& text, std::vector<AggregateSpec>* specs) {
   return true;
 }
 
+// "data/proj.csv" -> "proj"; the second catalog name of the input.
+std::string FileStem(const std::string& path) {
+  const size_t slash = path.find_last_of("/\\");
+  const size_t start = slash == std::string::npos ? 0 : slash + 1;
+  size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos || dot <= start) dot = path.size();
+  return path.substr(start, dot - start);
+}
+
+int EmitResult(const TemporalRelation& table, const Args& args) {
+  if (args.output.empty()) {
+    std::fputs(RelationToCsv(table).c_str(), stdout);
+    return 0;
+  }
+  const Status st = WriteCsvFile(table, args.output);
+  if (!st.ok()) {
+    return RunError("writing " + args.output + " failed: " + st.message());
+  }
+  return 0;
+}
+
+int RunQuery(const Args& args, const TemporalRelation& rel) {
+  std::string text = args.query;
+  if (!args.query_file.empty()) {
+    std::ifstream in(args.query_file);
+    if (!in) {
+      return RunError("cannot read query file " + args.query_file);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  ql::Catalog catalog;
+  catalog.Register("input", &rel);
+  const std::string stem = FileStem(args.input);
+  if (!stem.empty()) catalog.Register(stem, &rel);
+
+  auto result = ql::ParseAndExecute(text, catalog);
+  if (!result.ok()) {
+    // Invalid queries (parse and semantic errors alike) are usage errors;
+    // their message already carries the "at <line>:<col>" suffix.
+    if (result.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(result.status().message());
+    }
+    return RunError(result.status().message());
+  }
+
+  std::fprintf(stderr,
+               "query stats: engine=%s input=%zu filtered=%zu ita=%zu "
+               "rows=%zu sse=%.6g\n",
+               EngineName(result->stats.engine), result->stats.input_rows,
+               result->stats.filtered_rows, result->stats.ita_size,
+               result->stats.rows, result->stats.error);
+  return EmitResult(result->table, args);
+}
+
+int RunFlagQuery(const Args& args, const Schema& schema,
+                 const TemporalRelation& rel) {
+  ItaSpec spec;
+  if (!args.group_by.empty()) spec.group_by = Split(args.group_by, ',');
+  for (const std::string& agg : args.aggs) {
+    if (!ParseAgg(agg, &spec.aggregates)) {
+      return FlagError("bad --agg value: " + agg);
+    }
+  }
+
+  // One query, assembled from the flags; --greedy/--size/--error only
+  // change the engine and budget, never the query shape.
+  PtaQuery query = PtaQuery::Over(rel).Spec(spec).Budget(
+      args.size > 0 ? Budget::Size(args.size)
+                    : Budget::RelativeError(args.error));
+  if (args.greedy) {
+    GreedyPtaOptions options;
+    options.delta = args.delta;
+    options.merge_across_gaps = args.merge_across_gaps;
+    query.Engine(Engine::kGreedy).Greedy(options);
+  } else {
+    PtaOptions options;
+    options.merge_across_gaps = args.merge_across_gaps;
+    query.Engine(Engine::kExactDp).Exact(options);
+  }
+  Result<PtaResult> result = query.Run();
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(result.status().message());
+    }
+    return RunError("PTA failed: " + result.status().message());
+  }
+
+  // Group schema for output: the group-by attributes in spec order.
+  std::vector<AttributeDef> group_attrs;
+  for (const std::string& name : spec.group_by) {
+    const int idx = schema.IndexOf(name);
+    PTA_CHECK(idx >= 0);
+    group_attrs.push_back(schema.attribute(idx));
+  }
+  auto out = result->relation.ToTemporalRelation(Schema(group_attrs));
+  if (!out.ok()) {
+    return RunError("output conversion failed: " + out.status().message());
+  }
+
+  std::fprintf(stderr,
+               "ITA result: %zu tuples -> reduced to %zu (SSE %.6g)\n",
+               result->ita_size, result->relation.size(), result->error);
+  return EmitResult(*out, args);
+}
+
 int RunDemo() {
   std::printf("no arguments given; running the built-in demo "
               "(the paper's Fig. 1 example)\n\n");
@@ -146,122 +287,89 @@ int main(int argc, char** argv) {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
-    if (flag == "--input") {
+    if (flag == "--help" || flag == "-h") {
+      Usage(stdout, argv[0]);
+      return 0;
+    } else if (flag == "--input") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--input needs a value");
       args.input = v;
     } else if (flag == "--output") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--output needs a value");
       args.output = v;
     } else if (flag == "--schema") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--schema needs a value");
       args.schema = v;
     } else if (flag == "--group-by") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--group-by needs a value");
       args.group_by = v;
     } else if (flag == "--agg") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--agg needs a value");
       args.aggs.push_back(v);
+    } else if (flag == "--query") {
+      const char* v = next();
+      if (v == nullptr) return FlagError("--query needs a value");
+      args.query = v;
+    } else if (flag == "--query-file") {
+      const char* v = next();
+      if (v == nullptr) return FlagError("--query-file needs a value");
+      args.query_file = v;
     } else if (flag == "--size") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--size needs a value");
       args.size = static_cast<size_t>(std::atoll(v));
     } else if (flag == "--error") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--error needs a value");
       args.error = std::atof(v);
     } else if (flag == "--delta") {
       const char* v = next();
-      if (v == nullptr) return Usage(argv[0]), 2;
+      if (v == nullptr) return FlagError("--delta needs a value");
       args.delta = static_cast<size_t>(std::atoll(v));
     } else if (flag == "--greedy") {
       args.greedy = true;
     } else if (flag == "--merge-across-gaps") {
       args.merge_across_gaps = true;
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
-      return Usage(argv[0]), 2;
+      return FlagError("unknown flag: " + flag + " (see --help)");
     }
   }
 
-  if (args.input.empty() || args.schema.empty() || args.aggs.empty() ||
-      (args.size == 0 && args.error < 0.0)) {
-    return Usage(argv[0]), 2;
+  const bool query_mode = !args.query.empty() || !args.query_file.empty();
+  if (!args.query.empty() && !args.query_file.empty()) {
+    return FlagError("--query and --query-file are mutually exclusive");
+  }
+  if (query_mode && (!args.aggs.empty() || !args.group_by.empty() ||
+                     args.size > 0 || args.error >= 0.0 || args.greedy)) {
+    return FlagError(
+        "--query states the whole query; it cannot be combined with "
+        "--agg/--group-by/--size/--error/--greedy");
+  }
+  if (args.input.empty() || args.schema.empty()) {
+    return FlagError("--input and --schema are required (see --help)");
+  }
+  if (!query_mode && args.aggs.empty()) {
+    return FlagError("state a query with --query/--query-file or --agg");
+  }
+  if (!query_mode && args.size == 0 && args.error < 0.0) {
+    return FlagError("a budget is required: --size C or --error EPS");
   }
 
   Schema schema;
   if (!ParseSchema(args.schema, &schema)) {
-    std::fprintf(stderr, "bad --schema value\n");
-    return 2;
-  }
-  ItaSpec spec;
-  if (!args.group_by.empty()) spec.group_by = Split(args.group_by, ',');
-  for (const std::string& agg : args.aggs) {
-    if (!ParseAgg(agg, &spec.aggregates)) {
-      std::fprintf(stderr, "bad --agg value: %s\n", agg.c_str());
-      return 2;
-    }
+    return FlagError("bad --schema value: " + args.schema);
   }
 
   auto rel = ReadCsvFile(args.input, schema);
   if (!rel.ok()) {
-    std::fprintf(stderr, "reading %s failed: %s\n", args.input.c_str(),
-                 rel.status().ToString().c_str());
-    return 1;
+    return RunError("reading " + args.input + " failed: " +
+                    rel.status().message());
   }
 
-  // One query, assembled from the flags; --greedy/--size/--error only
-  // change the engine and budget, never the query shape.
-  PtaQuery query = PtaQuery::Over(*rel).Spec(spec).Budget(
-      args.size > 0 ? Budget::Size(args.size)
-                    : Budget::RelativeError(args.error));
-  if (args.greedy) {
-    GreedyPtaOptions options;
-    options.delta = args.delta;
-    options.merge_across_gaps = args.merge_across_gaps;
-    query.Engine(Engine::kGreedy).Greedy(options);
-  } else {
-    PtaOptions options;
-    options.merge_across_gaps = args.merge_across_gaps;
-    query.Engine(Engine::kExactDp).Exact(options);
-  }
-  Result<PtaResult> result = query.Run();
-  if (!result.ok()) {
-    std::fprintf(stderr, "PTA failed: %s\n",
-                 result.status().ToString().c_str());
-    return 1;
-  }
-
-  // Group schema for output: the group-by attributes in spec order.
-  std::vector<AttributeDef> group_attrs;
-  for (const std::string& name : spec.group_by) {
-    const int idx = schema.IndexOf(name);
-    PTA_CHECK(idx >= 0);
-    group_attrs.push_back(schema.attribute(idx));
-  }
-  auto out = result->relation.ToTemporalRelation(Schema(group_attrs));
-  if (!out.ok()) {
-    std::fprintf(stderr, "output conversion failed: %s\n",
-                 out.status().ToString().c_str());
-    return 1;
-  }
-
-  std::fprintf(stderr,
-               "ITA result: %zu tuples -> reduced to %zu (SSE %.6g)\n",
-               result->ita_size, result->relation.size(), result->error);
-  if (args.output.empty()) {
-    std::fputs(RelationToCsv(*out).c_str(), stdout);
-  } else {
-    const Status st = WriteCsvFile(*out, args.output);
-    if (!st.ok()) {
-      std::fprintf(stderr, "writing %s failed: %s\n", args.output.c_str(),
-                   st.ToString().c_str());
-      return 1;
-    }
-  }
-  return 0;
+  if (query_mode) return RunQuery(args, *rel);
+  return RunFlagQuery(args, schema, *rel);
 }

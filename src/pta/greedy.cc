@@ -158,7 +158,7 @@ Result<Reduction> GreedyReduceToSize(SegmentSource& source, size_t c,
       ++after_gap;
     }
 
-    while (heap.size() > c) {
+    while (options.eager && heap.size() > c) {
       const MergeHeap::TopInfo top = heap.Peek();
       // An infinite top key means every live pair is non-adjacent; nothing
       // can merge until more tuples arrive (if c < cmin, the final drain
@@ -248,7 +248,7 @@ Result<Reduction> GreedyReduceToError(SegmentSource& source, double eps,
     }
     run.Add(seg);
 
-    while (!heap.empty()) {
+    while (options.eager && !heap.empty()) {
       const MergeHeap::TopInfo top = heap.Peek();
       if (top.key > step_budget) break;  // also breaks on infinite keys
       if (top.id < last_gap_id) {

@@ -39,6 +39,14 @@ struct GreedyOptions {
   /// Future-work extension (Sec. 8): allow merging same-group tuples
   /// separated by temporal gaps (hull timestamps, covered-length weights).
   bool merge_across_gaps = false;
+  /// When false, no merge happens until the stream is exhausted: the
+  /// reducer buffers every tuple and the final drain IS the batch GMS
+  /// reducer — byte-identical to GmsReduceToSize/-ToError, including the
+  /// id-based tie order on equal heap keys, which in-stream early merges
+  /// perturb (a merged node outranks later-arriving leaves in ties).
+  /// Costs the full O(n) heap instead of O(c + beta); meant for
+  /// byte-identity regression regimes, not production streams.
+  bool eager = true;
 
   static constexpr size_t kDeltaInfinity = static_cast<size_t>(-1);
 };

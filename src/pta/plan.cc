@@ -99,7 +99,8 @@ ParallelReduceOptions ToReduceOptions(const ParallelOptions& parallel,
   ParallelReduceOptions reduce;
   reduce.num_threads = parallel.num_threads;
   reduce.greedy =
-      GreedyOptions{options.weights, options.delta, options.merge_across_gaps};
+      GreedyOptions{options.weights, options.delta,
+                    options.merge_across_gaps, options.eager};
   reduce.budget_sample_fraction = parallel.budget_sample_fraction;
   reduce.budget_sample_seed = parallel.budget_sample_seed;
   return reduce;
@@ -659,7 +660,8 @@ Result<PtaResult> ExecGreedyOverRelation(const PtaPlan& plan,
   if (!stream.ok()) return stream.status();
   CountingSource source(**stream);
   const GreedyOptions greedy{plan.greedy.weights, plan.greedy.delta,
-                             plan.greedy.merge_across_gaps};
+                             plan.greedy.merge_across_gaps,
+                             plan.greedy.eager};
   auto reduced =
       plan.budget.is_size()
           ? GreedyReduceToSize(source, plan.budget.size(), greedy, stats)
@@ -730,7 +732,8 @@ Result<PtaResult> ExecGreedyOverSequential(const PtaPlan& plan,
 
   RelationSegmentSource source(*plan.sequential);
   const GreedyOptions greedy{plan.greedy.weights, plan.greedy.delta,
-                             plan.greedy.merge_across_gaps};
+                             plan.greedy.merge_across_gaps,
+                             plan.greedy.eager};
   auto reduced =
       plan.budget.is_size()
           ? GreedyReduceToSize(source, plan.budget.size(), greedy, stats)

@@ -130,6 +130,11 @@ struct GreedyPtaOptions {
   size_t delta = 1;
   /// Future-work extension (Sec. 8): merge across temporal gaps.
   bool merge_across_gaps = false;
+  /// When false, defer every merge to the end-of-stream drain, making the
+  /// greedy (and one-shard parallel) engines byte-identical to the batch
+  /// GMS reducers — and hence to PtaIndex cuts — even on inputs with tied
+  /// merge keys; see GreedyOptions::eager.
+  bool eager = true;
 
   // --- gPTAε estimation knobs (ignored by size-bounded runs and by the
   // parallel engine, which estimates per shard instead — see

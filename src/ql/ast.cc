@@ -1,0 +1,196 @@
+#include "ql/ast.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pta {
+namespace ql {
+
+namespace {
+
+// Canonical keyword case for the pretty-printer.
+std::string AggKeyword(AggKind kind) {
+  switch (kind) {
+    case AggKind::kAvg:   return "AVG";
+    case AggKind::kSum:   return "SUM";
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kMin:   return "MIN";
+    case AggKind::kMax:   return "MAX";
+  }
+  return "AVG";
+}
+
+}  // namespace
+
+const char* CmpOpText(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "!=";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "=";
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return std::to_string(int_value);
+    case Kind::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", double_value);
+      // Keep the literal lexically a double: "%.17g" renders 5.0 as "5",
+      // which would re-lex as an integer and break the round trip.
+      if (std::strpbrk(buf, ".eE") == nullptr &&
+          std::strcmp(buf, "inf") != 0 && std::strcmp(buf, "-inf") != 0 &&
+          std::strcmp(buf, "nan") != 0) {
+        std::strcat(buf, ".0");
+      }
+      return buf;
+    }
+    case Kind::kString: {
+      std::string out = "'";
+      for (const char c : string_value) {
+        if (c == '\'') out += "''";
+        else out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kCmp:
+      return column + " " + CmpOpText(op) + " " + literal.ToString();
+    case Kind::kAnd:
+      return "(" + lhs->ToString() + " AND " + rhs->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs->ToString() + " OR " + rhs->ToString() + ")";
+    case Kind::kNot:
+      return "(NOT " + lhs->ToString() + ")";
+  }
+  return "";
+}
+
+std::string SelectItem::output_name() const {
+  if (!alias.empty()) return alias;
+  if (kind == AggKind::kCount) return "count";
+  return std::string(AggKindName(kind)) + "_" + attr;
+}
+
+std::string Query::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = items[i];
+    out += AggKeyword(item.kind) + "(";
+    out += item.kind == AggKind::kCount ? "*" : item.attr;
+    out += ")";
+    if (!item.alias.empty()) out += " AS " + item.alias;
+  }
+  out += " FROM " + from;
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i];
+    }
+  }
+  if (time.has_value()) {
+    out += " WITH TIME(" + std::to_string(time->begin) + ", " +
+           std::to_string(time->end) + ")";
+  }
+  switch (budget.kind) {
+    case BudgetClause::Kind::kNone:
+      break;
+    case BudgetClause::Kind::kSize:
+      out += " BUDGET SIZE " + std::to_string(budget.size);
+      break;
+    case BudgetClause::Kind::kError: {
+      Literal eps;
+      eps.kind = Literal::Kind::kDouble;
+      eps.double_value = budget.eps;
+      out += " BUDGET ERROR " + eps.ToString();
+      break;
+    }
+  }
+  if (engine.present) {
+    out += std::string(" USING ENGINE ") + EngineName(engine.engine);
+  }
+  return out;
+}
+
+namespace {
+
+bool LiteralEquals(const Literal& a, const Literal& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Literal::Kind::kInt:
+      return a.int_value == b.int_value;
+    case Literal::Kind::kDouble:
+      return a.double_value == b.double_value;
+    case Literal::Kind::kString:
+      return a.string_value == b.string_value;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Equals(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case Expr::Kind::kCmp:
+      return a.column == b.column && a.op == b.op &&
+             LiteralEquals(a.literal, b.literal);
+    case Expr::Kind::kAnd:
+    case Expr::Kind::kOr:
+      return Equals(*a.lhs, *b.lhs) && Equals(*a.rhs, *b.rhs);
+    case Expr::Kind::kNot:
+      return Equals(*a.lhs, *b.lhs);
+  }
+  return false;
+}
+
+bool Equals(const Query& a, const Query& b) {
+  if (a.items.size() != b.items.size()) return false;
+  for (size_t i = 0; i < a.items.size(); ++i) {
+    const SelectItem& x = a.items[i];
+    const SelectItem& y = b.items[i];
+    if (x.kind != y.kind || x.attr != y.attr || x.alias != y.alias) {
+      return false;
+    }
+  }
+  if (a.from != b.from) return false;
+  if ((a.where == nullptr) != (b.where == nullptr)) return false;
+  if (a.where != nullptr && !Equals(*a.where, *b.where)) return false;
+  if (a.group_by != b.group_by) return false;
+  if (a.time.has_value() != b.time.has_value()) return false;
+  if (a.time.has_value() &&
+      (a.time->begin != b.time->begin || a.time->end != b.time->end)) {
+    return false;
+  }
+  if (a.budget.kind != b.budget.kind) return false;
+  switch (a.budget.kind) {
+    case BudgetClause::Kind::kNone:
+      break;
+    case BudgetClause::Kind::kSize:
+      if (a.budget.size != b.budget.size) return false;
+      break;
+    case BudgetClause::Kind::kError:
+      if (a.budget.eps != b.budget.eps) return false;
+      break;
+  }
+  if (a.engine.present != b.engine.present) return false;
+  if (a.engine.present && a.engine.engine != b.engine.engine) return false;
+  return true;
+}
+
+}  // namespace ql
+}  // namespace pta

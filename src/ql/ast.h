@@ -1,0 +1,152 @@
+// PTA-QL abstract syntax tree.
+//
+// One Query node per statement, mirroring the clause order of the grammar:
+//
+//   SELECT <agg-list> FROM <relation>
+//     [WHERE <pred>] [GROUP BY <cols>]
+//     [WITH TIME(t_begin, t_end)]
+//     [BUDGET SIZE c | BUDGET ERROR eps]
+//     [USING ENGINE exact|greedy|parallel|streaming|indexed|auto]
+//
+// Every node carries the Location of its defining token so semantic errors
+// (unknown column, type mismatch, missing budget) point at source positions
+// just like parse errors do. ToString() renders the canonical textual form
+// — re-parsing it yields an Equals()-identical tree (the round-trip
+// property pinned by tests/ql_roundtrip_test.cc); Equals() ignores
+// locations, so reformatted queries still compare equal.
+
+#ifndef PTA_QL_AST_H_
+#define PTA_QL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.h"
+#include "core/interval.h"
+#include "pta/plan.h"
+#include "ql/lexer.h"
+
+namespace pta {
+namespace ql {
+
+/// Comparison operators of WHERE predicates.
+enum class CmpOp {
+  kEq = 0,  // =
+  kNe,      // !=
+  kLt,      // <
+  kLe,      // <=
+  kGt,      // >
+  kGe,      // >=
+};
+
+/// The operator's source spelling ("=", "!=", ...).
+const char* CmpOpText(CmpOp op);
+
+/// \brief A literal in a WHERE comparison or clause argument.
+struct Literal {
+  enum class Kind { kInt = 0, kDouble, kString };
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string string_value;
+  Location loc;
+
+  /// Renders the canonical source form: integers bare, doubles always with
+  /// a '.' or exponent (so "5.0" never collapses into the integer "5"),
+  /// strings single-quoted with '' escaping.
+  std::string ToString() const;
+};
+
+/// \brief A WHERE predicate: comparisons combined with AND/OR/NOT.
+///
+/// kCmp leaves hold `column op literal`; kAnd/kOr use lhs+rhs; kNot uses
+/// lhs only.
+struct Expr {
+  enum class Kind { kCmp = 0, kAnd, kOr, kNot };
+  Kind kind = Kind::kCmp;
+
+  // kCmp:
+  std::string column;
+  Location column_loc;
+  CmpOp op = CmpOp::kEq;
+  Literal literal;
+
+  // kAnd / kOr (lhs + rhs), kNot (lhs only):
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  /// Canonical form; non-leaf nodes are parenthesized, so precedence
+  /// survives the round trip: Or(And(a,b),c) prints "((a AND b) OR c)".
+  std::string ToString() const;
+};
+
+/// \brief One aggregate of the select list: `KIND(attr) [AS alias]`.
+struct SelectItem {
+  AggKind kind = AggKind::kAvg;
+  /// Input attribute; empty for COUNT(*).
+  std::string attr;
+  /// Explicit AS alias; empty means the default name.
+  std::string alias;
+  Location loc;
+
+  /// The result column name: the alias, or "<kind>_<attr>" ("count" for
+  /// COUNT(*)).
+  std::string output_name() const;
+};
+
+/// \brief WITH TIME(t_begin, t_end): restrict the query to a chronon
+/// window. Tuples overlapping the window are kept, clipped to it.
+struct TimeWindow {
+  Chronon begin = 0;
+  Chronon end = 0;
+  Location loc;
+};
+
+/// \brief BUDGET SIZE c | BUDGET ERROR eps; kNone when the clause is
+/// absent (rejected at lowering — PTA always needs a budget).
+struct BudgetClause {
+  enum class Kind { kNone = 0, kSize, kError };
+  Kind kind = Kind::kNone;
+  size_t size = 0;
+  double eps = 0.0;
+  Location loc;
+};
+
+/// \brief USING ENGINE <name>; absent means the planner's kAuto.
+struct EngineClause {
+  bool present = false;
+  pta::Engine engine = pta::Engine::kAuto;
+  Location loc;
+};
+
+/// \brief One parsed PTA-QL statement.
+struct Query {
+  std::vector<SelectItem> items;
+  std::string from;
+  Location from_loc;
+  /// Null when there is no WHERE clause.
+  std::unique_ptr<Expr> where;
+  std::vector<std::string> group_by;
+  std::vector<Location> group_by_locs;
+  std::optional<TimeWindow> time;
+  BudgetClause budget;
+  EngineClause engine;
+  /// Location just past the statement; anchors "missing clause" errors.
+  Location end_loc;
+
+  /// Canonical textual form (single line, canonical keyword case).
+  std::string ToString() const;
+};
+
+/// Structural equality, ignoring all Locations. Doubles compare bitwise
+/// (operator==), matching the repo's byte-identity discipline.
+bool Equals(const Expr& a, const Expr& b);
+bool Equals(const Query& a, const Query& b);
+
+}  // namespace ql
+}  // namespace pta
+
+#endif  // PTA_QL_AST_H_

@@ -1,0 +1,115 @@
+// PTA-QL execution: lower a parsed Query onto the PtaQuery planner and run
+// it against a catalog of named relations.
+//
+// The pipeline is
+//
+//   resolve FROM against the Catalog
+//     -> validate select/group-by/WHERE names against the schema
+//     -> apply WHERE + WITH TIME (overlap-and-clip) to the base tuples
+//     -> ITA (materialized once, shared by every engine)
+//     -> PtaQuery::OverSequential(...).Budget(...).Engine(...).Run()
+//        (or, for USING ENGINE streaming, a StreamingQuery replay of the
+//        ITA segments with the watermark off — the byte-identical mode)
+//
+// Semantic errors carry source locations exactly like parse errors
+// ("unknown column 'X' at 1:12"), so tools print one uniform diagnostic
+// shape for everything up to execution.
+//
+// Determinism contract: PTA-QL results depend only on the query text and
+// the catalog contents. The parallel engine is therefore pinned to a
+// single shard (machine-independent, byte-identical to greedy); shard
+// tuning stays an API-level concern (ParallelOptions). ExecOptions exposes
+// the test-harness knobs: force_engine replays one query on several
+// engines, pin_identity pins the greedy schedule to batch GMS (deferred
+// merging, exact Emax estimates) — the regime in which greedy, parallel,
+// and indexed results are byte-identical, which the golden harness's
+// differential sweep asserts.
+
+#ifndef PTA_QL_EXEC_H_
+#define PTA_QL_EXEC_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pta/query.h"
+#include "ql/ast.h"
+#include "ql/parser.h"
+#include "util/status.h"
+
+namespace pta {
+namespace ql {
+
+/// \brief Named relations a query's FROM clause can bind to.
+///
+/// Registered relations must outlive the catalog and every execution using
+/// it; names are case-sensitive.
+class Catalog {
+ public:
+  /// Registers (or replaces) a relation under `name`.
+  void Register(std::string name, const TemporalRelation* rel);
+  /// The relation registered under `name`, or nullptr.
+  const TemporalRelation* Find(const std::string& name) const;
+  /// Registered names in sorted order (for diagnostics).
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, const TemporalRelation*> relations_;
+};
+
+/// \brief Execution knobs; defaults run the query as written.
+struct ExecOptions {
+  /// Overrides the query's engine (USING ENGINE clause or kAuto default).
+  std::optional<pta::Engine> force_engine;
+  /// Pins the greedy schedule to batch GMS: deferred merging
+  /// (GreedyOptions::eager = false) and exact (fraction 1) Emax estimates,
+  /// so greedy, parallel (one shard), and indexed runs of one query are
+  /// byte-identical — even on tie-rich inputs — the differential-sweep
+  /// regime.
+  bool pin_identity = false;
+};
+
+/// \brief Observability of one executed query.
+struct ExecStats {
+  /// The engine that ran (never kAuto).
+  pta::Engine engine = pta::Engine::kAuto;
+  /// Tuples of the FROM relation before WHERE / WITH TIME.
+  size_t input_rows = 0;
+  /// Tuples surviving WHERE / WITH TIME (== input_rows without filters).
+  size_t filtered_rows = 0;
+  /// Size of the intermediate ITA result.
+  size_t ita_size = 0;
+  /// Rows of the reduced result.
+  size_t rows = 0;
+  /// Total SSE introduced by the reduction.
+  double error = 0.0;
+};
+
+/// \brief A query's outcome: the raw reduced relation plus a displayable
+/// table.
+struct ExecResult {
+  /// The reduced sequential relation (group keys and value names attached)
+  /// — the representation the byte-identity assertions compare.
+  SequentialRelation relation;
+  /// The same result as a temporal relation with schema
+  /// (group-by attributes..., aggregate columns...) — what tools print.
+  TemporalRelation table;
+  ExecStats stats;
+};
+
+/// Executes a parsed query against the catalog.
+Result<ExecResult> Execute(const Query& query, const Catalog& catalog,
+                           const ExecOptions& options = {});
+
+/// Convenience: ParseQuery + Execute. `diag` is filled on parse errors.
+Result<ExecResult> ParseAndExecute(std::string_view text,
+                                   const Catalog& catalog,
+                                   const ExecOptions& options = {},
+                                   ParseDiagnostic* diag = nullptr);
+
+}  // namespace ql
+}  // namespace pta
+
+#endif  // PTA_QL_EXEC_H_

@@ -1,0 +1,215 @@
+#include "ql/lexer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace pta {
+namespace ql {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// Cursor over the input that tracks 1-based line/column as it advances.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  Location Here() const { return {line_, column_}; }
+
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+Status Fail(LexError* error, Location loc, std::string message) {
+  if (error != nullptr) {
+    error->loc = loc;
+    error->message = message;
+  }
+  return Status::InvalidArgument(FormatDiagnostic(std::move(message), loc));
+}
+
+}  // namespace
+
+std::string Location::ToString() const {
+  return std::to_string(line) + ":" + std::to_string(column);
+}
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInt:        return "integer literal";
+    case TokenKind::kDouble:     return "numeric literal";
+    case TokenKind::kString:     return "string literal";
+    case TokenKind::kComma:      return "','";
+    case TokenKind::kLParen:     return "'('";
+    case TokenKind::kRParen:     return "')'";
+    case TokenKind::kStar:       return "'*'";
+    case TokenKind::kSemicolon:  return "';'";
+    case TokenKind::kEq:         return "'='";
+    case TokenKind::kNe:         return "'!='";
+    case TokenKind::kLt:         return "'<'";
+    case TokenKind::kLe:         return "'<='";
+    case TokenKind::kGt:         return "'>'";
+    case TokenKind::kGe:         return "'>='";
+    case TokenKind::kMinus:      return "'-'";
+    case TokenKind::kEnd:        return "end of query";
+  }
+  return "unknown token";
+}
+
+std::string FormatDiagnostic(const std::string& message, Location loc) {
+  if (!loc.valid()) return message;
+  return message + " at " + loc.ToString();
+}
+
+Result<std::vector<Token>> Lex(std::string_view text, LexError* error) {
+  std::vector<Token> tokens;
+  Cursor cur(text);
+  while (true) {
+    while (!cur.AtEnd() && std::isspace(static_cast<unsigned char>(cur.Peek()))) {
+      cur.Advance();
+    }
+    if (cur.AtEnd()) break;
+
+    Token tok;
+    tok.loc = cur.Here();
+    const char c = cur.Peek();
+
+    if (IsIdentStart(c)) {
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) tok.text += cur.Advance();
+      tok.kind = TokenKind::kIdentifier;
+    } else if (IsDigit(c) ||
+               (c == '.' && IsDigit(cur.PeekAt(1)))) {
+      bool is_double = false;
+      while (!cur.AtEnd() && IsDigit(cur.Peek())) tok.text += cur.Advance();
+      if (!cur.AtEnd() && cur.Peek() == '.') {
+        is_double = true;
+        tok.text += cur.Advance();
+        while (!cur.AtEnd() && IsDigit(cur.Peek())) tok.text += cur.Advance();
+      }
+      if (!cur.AtEnd() && (cur.Peek() == 'e' || cur.Peek() == 'E')) {
+        // Exponent: e[+-]digits. A bare 'e' with no digits is malformed.
+        if (IsDigit(cur.PeekAt(1)) ||
+            ((cur.PeekAt(1) == '+' || cur.PeekAt(1) == '-') &&
+             IsDigit(cur.PeekAt(2)))) {
+          is_double = true;
+          tok.text += cur.Advance();  // e
+          if (cur.Peek() == '+' || cur.Peek() == '-') tok.text += cur.Advance();
+          while (!cur.AtEnd() && IsDigit(cur.Peek())) tok.text += cur.Advance();
+        }
+      }
+      // "12abc" is one malformed token, not kInt followed by kIdentifier.
+      if (!cur.AtEnd() && IsIdentChar(cur.Peek())) {
+        return Fail(error, tok.loc, "malformed number '" + tok.text + "...'");
+      }
+      errno = 0;
+      if (is_double) {
+        tok.kind = TokenKind::kDouble;
+        tok.double_value = std::strtod(tok.text.c_str(), nullptr);
+      } else {
+        tok.kind = TokenKind::kInt;
+        char* end = nullptr;
+        const long long v = std::strtoll(tok.text.c_str(), &end, 10);
+        if (errno == ERANGE) {
+          return Fail(error, tok.loc,
+                      "integer literal out of range: " + tok.text);
+        }
+        tok.int_value = static_cast<int64_t>(v);
+      }
+    } else if (c == '\'') {
+      const Location start = cur.Here();
+      cur.Advance();  // opening quote
+      bool closed = false;
+      while (!cur.AtEnd()) {
+        const char ch = cur.Advance();
+        if (ch == '\'') {
+          if (!cur.AtEnd() && cur.Peek() == '\'') {
+            tok.text += '\'';
+            cur.Advance();
+          } else {
+            closed = true;
+            break;
+          }
+        } else {
+          tok.text += ch;
+        }
+      }
+      if (!closed) {
+        return Fail(error, start, "unterminated string literal");
+      }
+      tok.kind = TokenKind::kString;
+    } else {
+      switch (c) {
+        case ',': tok.kind = TokenKind::kComma; break;
+        case '(': tok.kind = TokenKind::kLParen; break;
+        case ')': tok.kind = TokenKind::kRParen; break;
+        case '*': tok.kind = TokenKind::kStar; break;
+        case ';': tok.kind = TokenKind::kSemicolon; break;
+        case '-': tok.kind = TokenKind::kMinus; break;
+        case '=': tok.kind = TokenKind::kEq; break;
+        case '!':
+          if (cur.PeekAt(1) != '=') {
+            return Fail(error, tok.loc, "stray '!' (did you mean '!='?)");
+          }
+          tok.kind = TokenKind::kNe;
+          break;
+        case '<':
+          tok.kind = cur.PeekAt(1) == '=' ? TokenKind::kLe
+                   : cur.PeekAt(1) == '>' ? TokenKind::kNe
+                                          : TokenKind::kLt;
+          break;
+        case '>':
+          tok.kind = cur.PeekAt(1) == '=' ? TokenKind::kGe : TokenKind::kGt;
+          break;
+        default:
+          return Fail(error, tok.loc,
+                      std::string("unexpected character '") + c + "'");
+      }
+      tok.text += cur.Advance();
+      // kNe/kLe/kGe are the two-character operators; consume the second char.
+      if (tok.kind == TokenKind::kNe || tok.kind == TokenKind::kLe ||
+          tok.kind == TokenKind::kGe) {
+        tok.text += cur.Advance();
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.loc = cur.Here();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace ql
+}  // namespace pta

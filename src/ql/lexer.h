@@ -1,0 +1,93 @@
+// PTA-QL lexer: turns a query string into a token stream with source
+// locations.
+//
+// The lexer is keyword-free: every word (SELECT, AVG, column names, engine
+// names) is a kIdentifier token, and the parser matches keywords
+// contextually and case-insensitively. This keeps the token set small and
+// lets attribute names shadow keywords without a quoting mechanism.
+//
+// Numbers split into kInt (no '.'/exponent; value fits int64) and kDouble;
+// the distinction is semantic — BUDGET SIZE takes a kInt, a double literal
+// compared against an int64 column coerces — and it is what lets the
+// pretty-printer round-trip "5" vs "5.0" losslessly. String literals are
+// single-quoted with '' escaping, as in SQL.
+
+#ifndef PTA_QL_LEXER_H_
+#define PTA_QL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pta {
+namespace ql {
+
+/// \brief A 1-based source position; {0, 0} means "unknown".
+struct Location {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const { return line > 0 && column > 0; }
+  /// Renders "line:column".
+  std::string ToString() const;
+
+  bool operator==(const Location& other) const = default;
+};
+
+enum class TokenKind {
+  kIdentifier = 0,  // letters/digits/underscore, starting with a letter or _
+  kInt,             // integer literal, fits in int64
+  kDouble,          // literal with '.' or exponent
+  kString,          // single-quoted, '' escapes a quote
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kSemicolon,
+  kEq,        // =
+  kNe,        // != or <>
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kMinus,     // unary minus of numeric literals
+  kEnd,       // end of input (always the last token)
+};
+
+/// Human-readable token-kind name, used in diagnostics ("identifier",
+/// "integer literal", "','", ...).
+const char* TokenKindName(TokenKind kind);
+
+/// \brief One token: kind, source text, decoded payload, and location.
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  /// The raw source text (decoded payload for kString).
+  std::string text;
+  int64_t int_value = 0;     // kInt
+  double double_value = 0.0; // kDouble
+  Location loc;
+};
+
+/// \brief A lexer error: what went wrong and where.
+struct LexError {
+  Location loc;
+  std::string message;
+};
+
+/// Tokenizes `text` completely. On success the vector ends with a kEnd
+/// token carrying the end-of-input location. On failure returns
+/// Status::InvalidArgument with the location appended ("<msg> at l:c") and,
+/// when `error` is non-null, the structured location/message.
+Result<std::vector<Token>> Lex(std::string_view text, LexError* error = nullptr);
+
+/// Formats "<message> at <line>:<column>" (or just the message when the
+/// location is unknown) — the uniform diagnostic shape of the QL layer.
+std::string FormatDiagnostic(const std::string& message, Location loc);
+
+}  // namespace ql
+}  // namespace pta
+
+#endif  // PTA_QL_LEXER_H_

@@ -1,0 +1,421 @@
+#include "ql/parser.h"
+
+#include <cctype>
+#include <utility>
+
+namespace pta {
+namespace ql {
+
+namespace {
+
+// Case-insensitive ASCII comparison; keywords are never non-ASCII.
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t i = 0;
+  for (; a[i] != '\0' && b[i] != '\0'; ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return a[i] == '\0' && b[i] == '\0';
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, ParseDiagnostic* diag)
+      : tokens_(std::move(tokens)), diag_(diag) {}
+
+  Result<Query> Parse() {
+    Query q;
+    PTA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    PTA_RETURN_IF_ERROR(ParseSelectList(&q));
+    PTA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Cur().kind != TokenKind::kIdentifier) {
+      return Fail("expected a relation name after FROM");
+    }
+    q.from = Cur().text;
+    q.from_loc = Cur().loc;
+    Advance();
+
+    if (AtKeyword("WHERE")) {
+      Advance();
+      auto expr = ParseOrExpr();
+      if (!expr.ok()) return expr.status();
+      q.where = std::move(*expr);
+    }
+    if (AtKeyword("GROUP")) {
+      Advance();
+      PTA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      PTA_RETURN_IF_ERROR(ParseGroupBy(&q));
+    }
+    if (AtKeyword("WITH")) {
+      Advance();
+      PTA_RETURN_IF_ERROR(ExpectKeyword("TIME"));
+      PTA_RETURN_IF_ERROR(ParseTimeWindow(&q));
+    }
+    if (AtKeyword("BUDGET")) {
+      PTA_RETURN_IF_ERROR(ParseBudget(&q));
+    }
+    if (AtKeyword("USING")) {
+      Advance();
+      PTA_RETURN_IF_ERROR(ExpectKeyword("ENGINE"));
+      PTA_RETURN_IF_ERROR(ParseEngine(&q));
+    }
+    if (Cur().kind == TokenKind::kSemicolon) Advance();
+    if (Cur().kind != TokenKind::kEnd) {
+      if (AtKeyword("BUDGET")) {
+        return Fail("duplicate BUDGET clause");
+      }
+      return Fail("unexpected trailing input");
+    }
+    q.end_loc = Cur().loc;
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() {
+    if (pos_ + 1 < tokens_.size()) ++pos_;
+  }
+
+  bool AtKeyword(const char* kw) const {
+    return Cur().kind == TokenKind::kIdentifier &&
+           EqualsIgnoreCase(Cur().text, kw);
+  }
+
+  Status Fail(std::string message) const { return FailAt(Cur(), std::move(message)); }
+
+  Status FailAt(const Token& tok, std::string message) const {
+    if (diag_ != nullptr) {
+      diag_->loc = tok.loc;
+      diag_->message = message;
+      diag_->token = tok.kind == TokenKind::kEnd ? "" : tok.text;
+    }
+    return Status::InvalidArgument(FormatDiagnostic(std::move(message), tok.loc));
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!AtKeyword(kw)) {
+      return Fail(std::string("expected ") + kw + ", got " + Describe(Cur()));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Cur().kind != kind) {
+      return Fail(std::string("expected ") + what + ", got " + Describe(Cur()));
+    }
+    Advance();
+    return Status::Ok();
+  }
+
+  static std::string Describe(const Token& tok) {
+    if (tok.kind == TokenKind::kIdentifier || tok.kind == TokenKind::kInt ||
+        tok.kind == TokenKind::kDouble) {
+      return "'" + tok.text + "'";
+    }
+    if (tok.kind == TokenKind::kString) return "string literal";
+    return TokenKindName(tok.kind);
+  }
+
+  Status ParseSelectList(Query* q) {
+    while (true) {
+      SelectItem item;
+      PTA_RETURN_IF_ERROR(ParseSelectItem(&item));
+      q->items.push_back(std::move(item));
+      if (Cur().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::Ok();
+  }
+
+  Status ParseSelectItem(SelectItem* item) {
+    item->loc = Cur().loc;
+    if (Cur().kind != TokenKind::kIdentifier) {
+      return Fail("expected an aggregate function (AVG, SUM, COUNT, MIN, "
+                  "MAX), got " + Describe(Cur()));
+    }
+    if (AtKeyword("AVG")) {
+      item->kind = AggKind::kAvg;
+    } else if (AtKeyword("SUM")) {
+      item->kind = AggKind::kSum;
+    } else if (AtKeyword("COUNT")) {
+      item->kind = AggKind::kCount;
+    } else if (AtKeyword("MIN")) {
+      item->kind = AggKind::kMin;
+    } else if (AtKeyword("MAX")) {
+      item->kind = AggKind::kMax;
+    } else {
+      return Fail("unknown aggregate function '" + Cur().text + "'");
+    }
+    Advance();
+    PTA_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    if (item->kind == AggKind::kCount) {
+      PTA_RETURN_IF_ERROR(Expect(TokenKind::kStar, "'*' (COUNT counts "
+                                 "tuples: COUNT(*))"));
+    } else {
+      if (Cur().kind != TokenKind::kIdentifier) {
+        return Fail("expected a column name inside the aggregate, got " +
+                    Describe(Cur()));
+      }
+      item->attr = Cur().text;
+      Advance();
+    }
+    PTA_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (AtKeyword("AS")) {
+      Advance();
+      if (Cur().kind != TokenKind::kIdentifier) {
+        return Fail("expected an alias after AS, got " + Describe(Cur()));
+      }
+      item->alias = Cur().text;
+      Advance();
+    }
+    return Status::Ok();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseOrExpr() {
+    auto lhs = ParseAndExpr();
+    if (!lhs.ok()) return lhs.status();
+    while (AtKeyword("OR")) {
+      Advance();
+      auto rhs = ParseAndExpr();
+      if (!rhs.ok()) return rhs.status();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kOr;
+      node->lhs = std::move(*lhs);
+      node->rhs = std::move(*rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseAndExpr() {
+    auto lhs = ParseNotExpr();
+    if (!lhs.ok()) return lhs.status();
+    while (AtKeyword("AND")) {
+      Advance();
+      auto rhs = ParseNotExpr();
+      if (!rhs.ok()) return rhs.status();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kAnd;
+      node->lhs = std::move(*lhs);
+      node->rhs = std::move(*rhs);
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseNotExpr() {
+    if (AtKeyword("NOT")) {
+      Advance();
+      auto inner = ParseNotExpr();
+      if (!inner.ok()) return inner.status();
+      auto node = std::make_unique<Expr>();
+      node->kind = Expr::Kind::kNot;
+      node->lhs = std::move(*inner);
+      return node;
+    }
+    if (Cur().kind == TokenKind::kLParen) {
+      Advance();
+      auto inner = ParseOrExpr();
+      if (!inner.ok()) return inner.status();
+      PTA_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  Result<std::unique_ptr<Expr>> ParseComparison() {
+    if (Cur().kind != TokenKind::kIdentifier) {
+      return Fail("expected a column name in the WHERE predicate, got " +
+                  Describe(Cur()));
+    }
+    auto node = std::make_unique<Expr>();
+    node->kind = Expr::Kind::kCmp;
+    node->column = Cur().text;
+    node->column_loc = Cur().loc;
+    Advance();
+    switch (Cur().kind) {
+      case TokenKind::kEq: node->op = CmpOp::kEq; break;
+      case TokenKind::kNe: node->op = CmpOp::kNe; break;
+      case TokenKind::kLt: node->op = CmpOp::kLt; break;
+      case TokenKind::kLe: node->op = CmpOp::kLe; break;
+      case TokenKind::kGt: node->op = CmpOp::kGt; break;
+      case TokenKind::kGe: node->op = CmpOp::kGe; break;
+      default:
+        return Fail("expected a comparison operator (=, !=, <, <=, >, >=), "
+                    "got " + Describe(Cur()));
+    }
+    Advance();
+    auto literal = ParseLiteral();
+    if (!literal.ok()) return literal.status();
+    node->literal = std::move(*literal);
+    return node;
+  }
+
+  Result<Literal> ParseLiteral() {
+    Literal lit;
+    lit.loc = Cur().loc;
+    bool negative = false;
+    if (Cur().kind == TokenKind::kMinus) {
+      negative = true;
+      Advance();
+    }
+    switch (Cur().kind) {
+      case TokenKind::kInt:
+        lit.kind = Literal::Kind::kInt;
+        lit.int_value = negative ? -Cur().int_value : Cur().int_value;
+        break;
+      case TokenKind::kDouble:
+        lit.kind = Literal::Kind::kDouble;
+        lit.double_value =
+            negative ? -Cur().double_value : Cur().double_value;
+        break;
+      case TokenKind::kString:
+        if (negative) {
+          return Fail("'-' must be followed by a numeric literal");
+        }
+        lit.kind = Literal::Kind::kString;
+        lit.string_value = Cur().text;
+        break;
+      default:
+        return Fail("expected a literal (number or 'string'), got " +
+                    Describe(Cur()));
+    }
+    Advance();
+    return lit;
+  }
+
+  Status ParseGroupBy(Query* q) {
+    while (true) {
+      if (Cur().kind != TokenKind::kIdentifier) {
+        return Fail("expected a column name in GROUP BY, got " +
+                    Describe(Cur()));
+      }
+      q->group_by.push_back(Cur().text);
+      q->group_by_locs.push_back(Cur().loc);
+      Advance();
+      if (Cur().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::Ok();
+  }
+
+  Result<Chronon> ParseChronon() {
+    bool negative = false;
+    if (Cur().kind == TokenKind::kMinus) {
+      negative = true;
+      Advance();
+    }
+    if (Cur().kind != TokenKind::kInt) {
+      return Fail("expected an integer chronon, got " + Describe(Cur()));
+    }
+    const Chronon value = negative ? -Cur().int_value : Cur().int_value;
+    Advance();
+    return value;
+  }
+
+  Status ParseTimeWindow(Query* q) {
+    TimeWindow window;
+    window.loc = Cur().loc;
+    PTA_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after WITH TIME"));
+    auto begin = ParseChronon();
+    if (!begin.ok()) return begin.status();
+    window.begin = *begin;
+    PTA_RETURN_IF_ERROR(Expect(TokenKind::kComma, "',' between the TIME "
+                               "window bounds"));
+    auto end = ParseChronon();
+    if (!end.ok()) return end.status();
+    window.end = *end;
+    PTA_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    q->time = window;
+    return Status::Ok();
+  }
+
+  Status ParseBudget(Query* q) {
+    q->budget.loc = Cur().loc;
+    Advance();  // BUDGET
+    if (AtKeyword("SIZE")) {
+      Advance();
+      if (Cur().kind != TokenKind::kInt || Cur().int_value <= 0) {
+        return Fail("BUDGET SIZE takes a positive integer, got " +
+                    Describe(Cur()));
+      }
+      q->budget.kind = BudgetClause::Kind::kSize;
+      q->budget.size = static_cast<size_t>(Cur().int_value);
+      Advance();
+      return Status::Ok();
+    }
+    if (AtKeyword("ERROR")) {
+      Advance();
+      double eps = 0.0;
+      if (Cur().kind == TokenKind::kInt) {
+        eps = static_cast<double>(Cur().int_value);
+      } else if (Cur().kind == TokenKind::kDouble) {
+        eps = Cur().double_value;
+      } else {
+        return Fail("BUDGET ERROR takes a number in [0, 1], got " +
+                    Describe(Cur()));
+      }
+      if (!(eps >= 0.0 && eps <= 1.0)) {
+        return Fail("BUDGET ERROR must be in [0, 1], got " + Cur().text);
+      }
+      q->budget.kind = BudgetClause::Kind::kError;
+      q->budget.eps = eps;
+      Advance();
+      return Status::Ok();
+    }
+    return Fail("expected SIZE or ERROR after BUDGET, got " + Describe(Cur()));
+  }
+
+  Status ParseEngine(Query* q) {
+    q->engine.loc = Cur().loc;
+    if (Cur().kind != TokenKind::kIdentifier) {
+      return Fail("expected an engine name (exact, greedy, parallel, "
+                  "streaming, indexed, auto), got " + Describe(Cur()));
+    }
+    if (AtKeyword("exact") || AtKeyword("exact_dp")) {
+      q->engine.engine = pta::Engine::kExactDp;
+    } else if (AtKeyword("greedy")) {
+      q->engine.engine = pta::Engine::kGreedy;
+    } else if (AtKeyword("parallel")) {
+      q->engine.engine = pta::Engine::kParallel;
+    } else if (AtKeyword("streaming")) {
+      q->engine.engine = pta::Engine::kStreaming;
+    } else if (AtKeyword("indexed")) {
+      q->engine.engine = pta::Engine::kIndexed;
+    } else if (AtKeyword("auto")) {
+      q->engine.engine = pta::Engine::kAuto;
+    } else {
+      return Fail("unknown engine '" + Cur().text + "' (expected exact, "
+                  "greedy, parallel, streaming, indexed, or auto)");
+    }
+    q->engine.present = true;
+    Advance();
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  ParseDiagnostic* diag_;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, ParseDiagnostic* diag) {
+  LexError lex_error;
+  auto tokens = Lex(text, &lex_error);
+  if (!tokens.ok()) {
+    if (diag != nullptr) {
+      diag->loc = lex_error.loc;
+      diag->message = lex_error.message;
+      diag->token.clear();
+    }
+    return tokens.status();
+  }
+  return Parser(std::move(*tokens), diag).Parse();
+}
+
+}  // namespace ql
+}  // namespace pta

@@ -1,0 +1,65 @@
+// PTA-QL parser: token stream -> ast::Query, with precise diagnostics.
+//
+// A hand-rolled recursive-descent parser over ql/lexer.h tokens. Keywords
+// are matched contextually and case-insensitively (the lexer emits plain
+// identifiers), clauses must appear in grammar order, and every error is a
+// Status::InvalidArgument whose message ends in "at <line>:<column>"; the
+// optional ParseDiagnostic out-param carries the same location and the
+// offending token structurally, for callers (the fuzz harness, tools) that
+// need more than a string.
+//
+// Grammar (EBNF; see docs/QUERY_LANGUAGE.md for semantics):
+//
+//   query      = "SELECT" select-list "FROM" identifier
+//                [ "WHERE" or-expr ] [ "GROUP" "BY" column-list ]
+//                [ "WITH" "TIME" "(" int "," int ")" ]
+//                [ "BUDGET" ( "SIZE" int | "ERROR" number ) ]
+//                [ "USING" "ENGINE" engine-name ] [ ";" ] end ;
+//   select-list= select-item { "," select-item } ;
+//   select-item= ( "AVG" | "SUM" | "MIN" | "MAX" ) "(" identifier ")"
+//                [ "AS" identifier ]
+//              | "COUNT" "(" "*" ")" [ "AS" identifier ] ;
+//   or-expr    = and-expr { "OR" and-expr } ;
+//   and-expr   = not-expr { "AND" not-expr } ;
+//   not-expr   = "NOT" not-expr | "(" or-expr ")" | comparison ;
+//   comparison = identifier cmp-op literal ;
+//   cmp-op     = "=" | "!=" | "<>" | "<" | "<=" | ">" | ">=" ;
+//   literal    = [ "-" ] ( int | number ) | string ;
+//   column-list= identifier { "," identifier } ;
+//   engine-name= "exact" | "exact_dp" | "greedy" | "parallel"
+//              | "streaming" | "indexed" | "auto" ;
+
+#ifndef PTA_QL_PARSER_H_
+#define PTA_QL_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "ql/ast.h"
+#include "ql/lexer.h"
+#include "util/status.h"
+
+namespace pta {
+namespace ql {
+
+/// \brief Structured description of a lex/parse failure.
+struct ParseDiagnostic {
+  /// Where the error was detected; always valid() on failure.
+  Location loc;
+  /// The message, without the " at l:c" suffix.
+  std::string message;
+  /// Source text of the offending token; empty at end of input or for
+  /// lexer-level errors.
+  std::string token;
+};
+
+/// Parses one PTA-QL statement. On failure returns
+/// Status::InvalidArgument("<msg> at <line>:<col>") and fills `diag` (when
+/// non-null) with the structured location.
+Result<Query> ParseQuery(std::string_view text,
+                         ParseDiagnostic* diag = nullptr);
+
+}  // namespace ql
+}  // namespace pta
+
+#endif  // PTA_QL_PARSER_H_

@@ -1,0 +1,18 @@
+// PTA-QL umbrella: the textual query frontend over the PtaQuery planner.
+//
+//   SELECT AVG(Sal) AS AvgSal FROM proj
+//     WHERE Dept = 'A' GROUP BY Proj
+//     WITH TIME(1, 8) BUDGET SIZE 4 USING ENGINE greedy
+//
+// Lex -> Parse -> Execute; see docs/QUERY_LANGUAGE.md for the grammar and
+// semantics. Link the pta_ql library.
+
+#ifndef PTA_QL_QL_H_
+#define PTA_QL_QL_H_
+
+#include "ql/ast.h"
+#include "ql/exec.h"
+#include "ql/lexer.h"
+#include "ql/parser.h"
+
+#endif  // PTA_QL_QL_H_

@@ -55,3 +55,62 @@ file(WRITE ${OUT_DIR}/proj_chopped.csv "${chopped_text}")
 run_tool(${OUT_DIR}/proj_chopped.csv ${OUT_DIR}/csv_tool_out_chopped.csv)
 compare_with_golden(${OUT_DIR}/csv_tool_out_chopped.csv
                     "missing-trailing-newline fixture")
+
+# 4. The PTA-QL path must reproduce the flag path byte-for-byte: the same
+# aggregation written as a query statement, against the same golden.
+execute_process(
+  COMMAND ${TOOL}
+          --input ${FIXTURE_DIR}/proj.csv
+          --schema Empl:string,Proj:string,Sal:double
+          --query "SELECT AVG(Sal) AS AvgSal FROM input GROUP BY Proj BUDGET SIZE 4"
+  OUTPUT_FILE ${OUT_DIR}/csv_tool_out_ql.csv
+  ERROR_VARIABLE tool_stderr
+  RESULT_VARIABLE tool_rc
+)
+if(NOT tool_rc EQUAL 0)
+  message(FATAL_ERROR "--query run exited with ${tool_rc}: ${tool_stderr}")
+endif()
+if(NOT tool_stderr MATCHES "query stats: engine=exact_dp input=5 ")
+  message(FATAL_ERROR "--query run did not report stats: ${tool_stderr}")
+endif()
+compare_with_golden(${OUT_DIR}/csv_tool_out_ql.csv "PTA-QL query")
+
+# 5. The exit-code contract: usage errors — malformed flags and malformed
+# or unbindable queries — exit 2 with a one-line diagnostic on stderr;
+# query diagnostics carry a <line>:<col> location.
+function(expect_usage_error label stderr_regex)
+  execute_process(
+    COMMAND ${TOOL} ${ARGN}
+    OUTPUT_VARIABLE tool_stdout
+    ERROR_VARIABLE tool_stderr
+    RESULT_VARIABLE tool_rc
+  )
+  if(NOT tool_rc EQUAL 2)
+    message(FATAL_ERROR
+            "${label}: expected exit code 2, got ${tool_rc}: ${tool_stderr}")
+  endif()
+  if(NOT tool_stderr MATCHES "${stderr_regex}")
+    message(FATAL_ERROR "${label}: stderr does not match '${stderr_regex}':\n"
+                        "${tool_stderr}")
+  endif()
+endfunction()
+
+expect_usage_error("unknown flag" "^error: unknown flag: --frobnicate"
+                   --frobnicate)
+expect_usage_error("missing flag value" "^error: "
+                   --input)
+expect_usage_error("query parse error"
+                   "^error: .* at [0-9]+:[0-9]+\n"
+                   --input ${FIXTURE_DIR}/proj.csv
+                   --schema Empl:string,Proj:string,Sal:double
+                   --query "SELECT AVG(Sal) FROM input BUDGET SIZE")
+expect_usage_error("query bind error"
+                   "^error: unknown column 'Bogus' at [0-9]+:[0-9]+\n"
+                   --input ${FIXTURE_DIR}/proj.csv
+                   --schema Empl:string,Proj:string,Sal:double
+                   --query "SELECT AVG(Bogus) FROM input BUDGET SIZE 4")
+expect_usage_error("query and flag mode mixed" "^error: "
+                   --input ${FIXTURE_DIR}/proj.csv
+                   --schema Empl:string,Proj:string,Sal:double
+                   --agg avg:Sal:AvgSal
+                   --query "SELECT AVG(Sal) FROM input BUDGET SIZE 4")

@@ -119,6 +119,50 @@ TEST(GreedySizeTest, DeltaInfinityTracksGms) {
   EXPECT_GE(exact * 10, total * 8) << exact << "/" << total << " exact";
 }
 
+TEST(GreedySizeTest, DeferredMergingIsExactlyGms) {
+  // GreedyOptions::eager = false defers every merge to the final drain, so
+  // the reducer replays the batch GMS merge sequence verbatim: byte
+  // identity even on inputs with *tied* merge keys, where in-stream early
+  // merges perturb the id-based tie order (a merged node is created before
+  // — and therefore outranks in ties — leaves that arrive after it). The
+  // input is deliberately tie-rich: three groups of unit segments whose
+  // values repeat a short cycle of multiples of 1/4, so many adjacent
+  // pairs share bitwise-equal merge costs.
+  SequentialRelation rel(1);
+  std::vector<GroupKey> keys;
+  for (int32_t g = 0; g < 3; ++g) {
+    keys.push_back({Value(static_cast<int64_t>(g))});
+    for (Chronon t = 0; t < 40; ++t) {
+      const double v = 10.0 * (g + 1) + 0.25 * ((t * (g + 2)) % 8);
+      rel.Append(g, Interval(t, t), &v);
+    }
+  }
+  rel.SetGroupKeys(std::move(keys));
+
+  GreedyOptions deferred;
+  deferred.eager = false;
+  for (size_t c : {3u, 7u, 12u, 40u, 119u}) {
+    auto gms = GmsReduceToSize(rel, c);
+    RelationSegmentSource src(rel);
+    auto gpta = GreedyReduceToSize(src, c, deferred);
+    ASSERT_TRUE(gms.ok()) << "c=" << c;
+    ASSERT_TRUE(gpta.ok()) << "c=" << c;
+    testing::ExpectByteIdentical(gpta->relation, gms->relation);
+    EXPECT_EQ(gpta->error, gms->error) << "c=" << c;
+  }
+  for (double eps : {0.0, 0.05, 0.25, 1.0}) {
+    auto gms = GmsReduceToError(rel, eps);
+    RelationSegmentSource src(rel);
+    // Estimates only gate the in-stream allowance, which eager = false
+    // disables; the final drain re-derives the exact budget itself.
+    auto gpta = GreedyReduceToError(src, eps, {0.0, rel.size()}, deferred);
+    ASSERT_TRUE(gms.ok()) << "eps=" << eps;
+    ASSERT_TRUE(gpta.ok()) << "eps=" << eps;
+    testing::ExpectByteIdentical(gpta->relation, gms->relation);
+    EXPECT_EQ(gpta->error, gms->error) << "eps=" << eps;
+  }
+}
+
 TEST(GreedySizeTest, SmallDeltaKeepsHeapNearC) {
   // Fig. 20: with delta = 0 the heap never exceeds c + 1; with
   // delta = infinity (gap-free data) it holds the whole input.

@@ -1,0 +1,199 @@
+// The PTA-QL golden blackbox harness.
+//
+// Every tests/fixtures/ql/*.qltest file becomes two parameterized cases:
+//
+//  * Golden — run the fixture's query as written against the shared
+//    catalog (proj / sensors / jobs) and compare the CSV rendering of the
+//    result byte-for-byte with the fixture's expect table (and every
+//    recorded stats key); error fixtures must instead fail with exactly
+//    the recorded one-line diagnostic.
+//
+//  * DifferentialSweep — replay every golden fixture that does not pin an
+//    engine (no USING ENGINE clause) across the greedy, parallel, and
+//    indexed engines in the pinned-identity regime (delta = infinity,
+//    exact Emax estimates, one shard) and assert the three reductions are
+//    byte-identical: same segments, same intervals, bitwise-equal values,
+//    and bitwise-equal total error.
+//
+// Flags (before the gtest flags):
+//   --fixtures=DIR   fixture directory (default: $PTA_QL_FIXTURE_DIR,
+//                    falling back to "tests/fixtures/ql")
+//   --bless          rewrite every fixture's expect/stats (or error)
+//                    section from the actual results instead of asserting
+//
+// Regenerate goldens after an intended behavior change with:
+//   ./ql_blackbox_test --bless && git diff tests/fixtures/ql
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "datasets/csv.h"
+#include "ql_test_util.h"
+#include "util/check.h"
+
+namespace pta {
+namespace testing {
+namespace {
+
+std::string g_fixture_dir = "tests/fixtures/ql";
+bool g_bless = false;
+
+std::vector<std::string> DiscoveredFixtures() {
+  static const std::vector<std::string> paths =
+      DiscoverQlFixtures(g_fixture_dir);
+  return paths;
+}
+
+// "tests/fixtures/ql/where_and_or.qltest" -> "where_and_or"; gtest value
+// names must be alphanumeric.
+std::string CaseName(const ::testing::TestParamInfo<std::string>& info) {
+  std::string name = std::filesystem::path(info.param).stem().string();
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class QlFixtureTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  QlFixture LoadFixture() {
+    auto fixture = LoadQlFixture(GetParam());
+    PTA_CHECK(fixture.ok());
+    return std::move(*fixture);
+  }
+};
+
+void Bless(QlFixture fixture) {
+  auto result = ql::ParseAndExecute(fixture.query, FixtureCatalog());
+  if (result.ok()) {
+    fixture.error.clear();
+    fixture.expect = RelationToCsv(result->table);
+    fixture.stats.clear();
+    for (const auto& [key, value] : StatsLines(result->stats)) {
+      fixture.stats[key] = value;
+    }
+  } else {
+    fixture.expect.clear();
+    fixture.stats.clear();
+    fixture.error = result.status().message();
+  }
+  std::ofstream out(fixture.path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.is_open()) << "cannot rewrite " << fixture.path;
+  out << SerializeQlFixture(fixture);
+}
+
+TEST_P(QlFixtureTest, Golden) {
+  QlFixture fixture = LoadFixture();
+  if (g_bless) {
+    Bless(std::move(fixture));
+    return;
+  }
+
+  auto result = ql::ParseAndExecute(fixture.query, FixtureCatalog());
+  if (!fixture.error.empty()) {
+    ASSERT_FALSE(result.ok())
+        << "fixture expects a diagnostic but the query succeeded";
+    EXPECT_EQ(StatusCode::kInvalidArgument, result.status().code());
+    EXPECT_EQ(fixture.error, result.status().message());
+    return;
+  }
+
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(fixture.expect, RelationToCsv(result->table))
+      << "result table drifted from the golden (re-run with --bless after "
+         "an intended change)";
+  for (const auto& [key, value] : StatsLines(result->stats)) {
+    const auto it = fixture.stats.find(key);
+    if (it != fixture.stats.end()) {
+      EXPECT_EQ(it->second, value) << "stats key '" << key << "'";
+    }
+  }
+  // A golden fixture must not record stats keys the harness never checks.
+  for (const auto& [key, value] : fixture.stats) {
+    EXPECT_TRUE(key == "engine" || key == "input" || key == "filtered" ||
+                key == "ita" || key == "rows" || key == "sse")
+        << "unknown stats key '" << key << "'";
+  }
+}
+
+TEST_P(QlFixtureTest, DifferentialSweep) {
+  QlFixture fixture = LoadFixture();
+  if (g_bless) GTEST_SKIP() << "bless handled by Golden";
+  if (!fixture.error.empty()) {
+    GTEST_SKIP() << "error fixtures have nothing to sweep";
+  }
+  auto query = ql::ParseQuery(fixture.query);
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  if (query->engine.present) {
+    GTEST_SKIP() << "fixture pins USING ENGINE "
+                 << EngineName(query->engine.engine);
+  }
+
+  const Engine engines[] = {Engine::kGreedy, Engine::kParallel,
+                            Engine::kIndexed};
+  std::vector<ql::ExecResult> runs;
+  for (const Engine engine : engines) {
+    ql::ExecOptions options;
+    options.force_engine = engine;
+    options.pin_identity = true;
+    auto result = ql::Execute(*query, FixtureCatalog(), options);
+    ASSERT_TRUE(result.ok())
+        << EngineName(engine) << ": " << result.status().ToString();
+    EXPECT_EQ(engine, result->stats.engine);
+    runs.push_back(std::move(*result));
+  }
+  for (size_t i = 1; i < runs.size(); ++i) {
+    SCOPED_TRACE(std::string("engine ") + EngineName(engines[i]) + " vs " +
+                 EngineName(engines[0]));
+    ExpectByteIdentical(runs[0].relation, runs[i].relation);
+    EXPECT_EQ(runs[0].stats.error, runs[i].stats.error);
+    EXPECT_EQ(runs[0].stats.ita_size, runs[i].stats.ita_size);
+    EXPECT_EQ(RelationToCsv(runs[0].table), RelationToCsv(runs[i].table));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, QlFixtureTest,
+                         ::testing::ValuesIn(DiscoveredFixtures()),
+                         CaseName);
+
+// The harness itself must fail loudly when the fixture directory is
+// missing or empty — a silently green suite that ran nothing is the worst
+// outcome for a golden harness.
+TEST(QlFixtureDiscovery, FindsFixtures) {
+  EXPECT_GE(DiscoveredFixtures().size(), 25u)
+      << "fixture directory " << g_fixture_dir
+      << " is missing or underpopulated";
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace pta
+
+int main(int argc, char** argv) {
+  if (const char* env = std::getenv("PTA_QL_FIXTURE_DIR")) {
+    pta::testing::g_fixture_dir = env;
+  }
+  // Strip our flags (which override the environment) before gtest parses
+  // the rest.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fixtures=", 11) == 0) {
+      pta::testing::g_fixture_dir = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--bless") == 0) {
+      pta::testing::g_bless = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  ::testing::InitGoogleTest(&filtered_argc, args.data());
+  return RUN_ALL_TESTS();
+}

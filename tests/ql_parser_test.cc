@@ -1,0 +1,218 @@
+// PTA-QL lexer and parser units: token shapes, clause parsing, precedence,
+// and the location-carrying diagnostics contract (every failure is an
+// InvalidArgument whose message ends "at <line>:<col>" and whose
+// ParseDiagnostic names the offending token).
+
+#include "ql/parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ql/lexer.h"
+
+namespace pta {
+namespace ql {
+namespace {
+
+TEST(QlLexer, TokenizesOperatorsAndLiterals) {
+  auto tokens = Lex("a_1 <= 'it''s' != 3.5e2 , ( * ) ; <> -42");
+  ASSERT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdentifier, TokenKind::kLe,
+                       TokenKind::kString, TokenKind::kNe, TokenKind::kDouble,
+                       TokenKind::kComma, TokenKind::kLParen,
+                       TokenKind::kStar, TokenKind::kRParen,
+                       TokenKind::kSemicolon, TokenKind::kNe,
+                       TokenKind::kMinus, TokenKind::kInt, TokenKind::kEnd}));
+  EXPECT_EQ("it's", (*tokens)[2].text);
+  EXPECT_EQ(350.0, (*tokens)[4].double_value);
+  EXPECT_EQ(42, (*tokens)[12].int_value);
+}
+
+TEST(QlLexer, TracksLineAndColumn) {
+  auto tokens = Lex("SELECT\n  AVG(x)\nFROM r");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(1, (*tokens)[0].loc.line);
+  EXPECT_EQ(1, (*tokens)[0].loc.column);
+  EXPECT_EQ(2, (*tokens)[1].loc.line);  // AVG
+  EXPECT_EQ(3, (*tokens)[1].loc.column);
+  EXPECT_EQ(3, (*tokens)[5].loc.line);  // FROM
+  EXPECT_EQ(1, (*tokens)[5].loc.column);
+}
+
+TEST(QlLexer, RejectsMalformedInput) {
+  LexError err;
+  EXPECT_FALSE(Lex("SELECT 12abc", &err).ok());
+  EXPECT_EQ(8, err.loc.column);
+
+  EXPECT_FALSE(Lex("x = 'unterminated", &err).ok());
+  EXPECT_EQ(5, err.loc.column);  // points at the opening quote
+
+  EXPECT_FALSE(Lex("a ! b", &err).ok());
+  EXPECT_FALSE(Lex("price = $3", &err).ok());
+  EXPECT_EQ(9, err.loc.column);
+
+  EXPECT_FALSE(Lex("n = 99999999999999999999", &err).ok());
+}
+
+TEST(QlParser, ParsesEveryClause) {
+  auto query = ParseQuery(
+      "SELECT AVG(Sal) AS AvgSal, COUNT(*) FROM proj "
+      "WHERE Sal > 100 AND NOT Empl = 'Ann' "
+      "GROUP BY Proj, Empl WITH TIME(1, 8) "
+      "BUDGET SIZE 4 USING ENGINE greedy;");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  ASSERT_EQ(2u, query->items.size());
+  EXPECT_EQ(AggKind::kAvg, query->items[0].kind);
+  EXPECT_EQ("Sal", query->items[0].attr);
+  EXPECT_EQ("AvgSal", query->items[0].alias);
+  EXPECT_EQ(AggKind::kCount, query->items[1].kind);
+  EXPECT_EQ("count", query->items[1].output_name());
+  EXPECT_EQ("proj", query->from);
+  ASSERT_NE(nullptr, query->where);
+  EXPECT_EQ(Expr::Kind::kAnd, query->where->kind);
+  EXPECT_EQ(Expr::Kind::kNot, query->where->rhs->kind);
+  EXPECT_EQ((std::vector<std::string>{"Proj", "Empl"}), query->group_by);
+  ASSERT_TRUE(query->time.has_value());
+  EXPECT_EQ(1, query->time->begin);
+  EXPECT_EQ(8, query->time->end);
+  EXPECT_EQ(BudgetClause::Kind::kSize, query->budget.kind);
+  EXPECT_EQ(4u, query->budget.size);
+  ASSERT_TRUE(query->engine.present);
+  EXPECT_EQ(Engine::kGreedy, query->engine.engine);
+}
+
+TEST(QlParser, KeywordsAreCaseInsensitive) {
+  auto query = ParseQuery(
+      "select Min(Sal) from proj where Proj = 'A' budget error 0.25 "
+      "using engine EXACT_DP");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(AggKind::kMin, query->items[0].kind);
+  EXPECT_EQ(BudgetClause::Kind::kError, query->budget.kind);
+  EXPECT_EQ(0.25, query->budget.eps);
+  EXPECT_EQ(Engine::kExactDp, query->engine.engine);
+}
+
+TEST(QlParser, PrecedenceOrBelowAndBelowNot) {
+  auto query = ParseQuery(
+      "SELECT AVG(x) FROM r WHERE a = 1 OR b = 2 AND NOT c = 3 "
+      "BUDGET SIZE 1");
+  ASSERT_TRUE(query.ok());
+  // a = 1 OR (b = 2 AND (NOT c = 3))
+  const Expr& where = *query->where;
+  ASSERT_EQ(Expr::Kind::kOr, where.kind);
+  EXPECT_EQ(Expr::Kind::kCmp, where.lhs->kind);
+  ASSERT_EQ(Expr::Kind::kAnd, where.rhs->kind);
+  EXPECT_EQ(Expr::Kind::kNot, where.rhs->rhs->kind);
+}
+
+TEST(QlParser, ParenthesesOverridePrecedence) {
+  auto query = ParseQuery(
+      "SELECT AVG(x) FROM r WHERE (a = 1 OR b = 2) AND c = 3 BUDGET SIZE 1");
+  ASSERT_TRUE(query.ok());
+  ASSERT_EQ(Expr::Kind::kAnd, query->where->kind);
+  EXPECT_EQ(Expr::Kind::kOr, query->where->lhs->kind);
+}
+
+TEST(QlParser, NegativeAndFloatLiterals) {
+  auto query = ParseQuery(
+      "SELECT AVG(x) FROM r WHERE a >= -4 AND b < 2.5 BUDGET SIZE 1");
+  ASSERT_TRUE(query.ok());
+  const Expr& lhs = *query->where->lhs;
+  EXPECT_EQ(Literal::Kind::kInt, lhs.literal.kind);
+  EXPECT_EQ(-4, lhs.literal.int_value);
+  const Expr& rhs = *query->where->rhs;
+  EXPECT_EQ(Literal::Kind::kDouble, rhs.literal.kind);
+  EXPECT_EQ(2.5, rhs.literal.double_value);
+}
+
+struct DiagnosticCase {
+  const char* text;
+  const char* message_prefix;
+  int line;
+  int column;
+};
+
+class QlParserDiagnosticTest
+    : public ::testing::TestWithParam<DiagnosticCase> {};
+
+TEST_P(QlParserDiagnosticTest, ReportsLocation) {
+  const DiagnosticCase& c = GetParam();
+  ParseDiagnostic diag;
+  auto query = ParseQuery(c.text, &diag);
+  ASSERT_FALSE(query.ok()) << c.text;
+  EXPECT_EQ(StatusCode::kInvalidArgument, query.status().code());
+  EXPECT_EQ(0u, query.status().message().rfind(c.message_prefix, 0))
+      << "message '" << query.status().message() << "' does not start with '"
+      << c.message_prefix << "'";
+  EXPECT_EQ(c.line, diag.loc.line) << query.status().message();
+  EXPECT_EQ(c.column, diag.loc.column) << query.status().message();
+  // The full message always carries the location suffix.
+  const std::string suffix =
+      " at " + std::to_string(c.line) + ":" + std::to_string(c.column);
+  const std::string& message = query.status().message();
+  ASSERT_GE(message.size(), suffix.size());
+  EXPECT_EQ(suffix, message.substr(message.size() - suffix.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, QlParserDiagnosticTest,
+    ::testing::Values(
+        DiagnosticCase{"", "expected SELECT", 1, 1},
+        DiagnosticCase{"SELEC AVG(x) FROM r", "expected SELECT", 1, 1},
+        DiagnosticCase{"SELECT MEDIAN(x) FROM r",
+                       "unknown aggregate function 'MEDIAN'", 1, 8},
+        DiagnosticCase{"SELECT AVG(x FROM r", "expected ')'", 1, 14},
+        DiagnosticCase{"SELECT COUNT(x) FROM r", "expected '*'", 1, 14},
+        DiagnosticCase{"SELECT AVG(x)", "expected FROM", 1, 14},
+        DiagnosticCase{"SELECT AVG(x) FROM r WHERE 5 = 5",
+                       "expected a column name in the WHERE predicate", 1, 28},
+        DiagnosticCase{"SELECT AVG(x) FROM r WHERE a ~ 1",
+                       "unexpected character '~'", 1, 30},
+        DiagnosticCase{"SELECT AVG(x) FROM r WHERE a = ", "expected a literal",
+                       1, 32},
+        DiagnosticCase{"SELECT AVG(x) FROM r GROUP Proj", "expected BY", 1,
+                       28},
+        DiagnosticCase{"SELECT AVG(x) FROM r WITH TIME 1, 8",
+                       "expected '(' after WITH TIME", 1, 32},
+        DiagnosticCase{"SELECT AVG(x) FROM r WITH TIME(1 8)", "expected ','",
+                       1, 34},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET WEIGHT 3",
+                       "expected SIZE or ERROR", 1, 29},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET SIZE 0",
+                       "BUDGET SIZE takes a positive integer", 1, 34},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET SIZE -3",
+                       "BUDGET SIZE takes a positive integer", 1, 34},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET ERROR 1.5",
+                       "BUDGET ERROR must be in [0, 1]", 1, 35},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET SIZE 2 USING ENGINE warp",
+                       "unknown engine 'warp'", 1, 49},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET SIZE 2 BUDGET SIZE 3",
+                       "duplicate BUDGET clause", 1, 36},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET SIZE 2 GROUP BY a",
+                       "unexpected trailing input", 1, 36},
+        DiagnosticCase{"SELECT AVG(x) FROM r; SELECT", "unexpected trailing",
+                       1, 23},
+        DiagnosticCase{"SELECT AVG(x) FROM r WHERE a = 'oops",
+                       "unterminated string literal", 1, 32},
+        DiagnosticCase{"SELECT AVG(x),, AVG(y) FROM r",
+                       "expected an aggregate function", 1, 15}));
+
+TEST(QlParser, DiagnosticCarriesOffendingToken) {
+  ParseDiagnostic diag;
+  ASSERT_FALSE(ParseQuery("SELECT AVG(x) FROM r LIMIT 3", &diag).ok());
+  EXPECT_EQ("LIMIT", diag.token);
+  EXPECT_EQ("unexpected trailing input", diag.message);
+}
+
+TEST(QlParser, MinusBeforeStringRejected) {
+  ASSERT_FALSE(
+      ParseQuery("SELECT AVG(x) FROM r WHERE a = -'s' BUDGET SIZE 1").ok());
+}
+
+}  // namespace
+}  // namespace ql
+}  // namespace pta

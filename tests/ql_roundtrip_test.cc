@@ -1,0 +1,110 @@
+// AST round-trip: for every fixture query (and a set of hand-picked corner
+// cases), parse -> ToString() -> re-parse must yield an Equals()-identical
+// tree, and pretty-printing must be a fixed point (printing the re-parsed
+// tree reproduces the same text).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ql_test_util.h"
+
+namespace pta {
+namespace testing {
+namespace {
+
+void ExpectRoundTrips(const std::string& text) {
+  SCOPED_TRACE(text);
+  auto first = ql::ParseQuery(text);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  const std::string printed = first->ToString();
+  auto second = ql::ParseQuery(printed);
+  ASSERT_TRUE(second.ok())
+      << "pretty-printed query failed to re-parse: " << printed << "\n"
+      << second.status().ToString();
+  EXPECT_TRUE(ql::Equals(*first, *second))
+      << "round trip changed the tree:\n  original: " << text
+      << "\n  printed:  " << printed;
+  // The canonical form is a fixed point of the printer.
+  EXPECT_EQ(printed, second->ToString());
+}
+
+TEST(QlRoundTrip, EveryFixtureQuery) {
+  const std::vector<std::string> paths =
+      DiscoverQlFixtures(std::getenv("PTA_QL_FIXTURE_DIR") != nullptr
+                             ? std::getenv("PTA_QL_FIXTURE_DIR")
+                             : "tests/fixtures/ql");
+  ASSERT_FALSE(paths.empty()) << "no fixtures discovered";
+  size_t parsed = 0;
+  for (const std::string& path : paths) {
+    auto fixture = LoadQlFixture(path);
+    ASSERT_TRUE(fixture.ok()) << fixture.status().ToString();
+    // Error fixtures whose query does not even parse have no AST to
+    // round-trip; semantic-error fixtures (parse fine, fail to bind) do.
+    if (!ql::ParseQuery(fixture->query).ok()) continue;
+    ExpectRoundTrips(fixture->query);
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 25u) << "too few parseable fixture queries";
+}
+
+TEST(QlRoundTrip, CornerCases) {
+  const char* queries[] = {
+      // Aliases, COUNT(*), every aggregate.
+      "SELECT AVG(a), SUM(b) AS s, COUNT(*), MIN(c) AS lo, MAX(d) FROM r "
+      "BUDGET SIZE 1",
+      // Operator zoo; <> canonicalizes to !=.
+      "SELECT AVG(a) FROM r WHERE x = 1 AND y != 2 AND z <> 3 AND u < 4 "
+      "AND v <= 5 AND w > 6 AND q >= 7 BUDGET SIZE 2",
+      // Precedence and explicit parens.
+      "SELECT AVG(a) FROM r WHERE (x = 1 OR y = 2) AND NOT (z = 3 OR "
+      "NOT u = 4) BUDGET SIZE 2",
+      // Literal shapes: negative ints, doubles that print without a '.',
+      // exponents, strings with escaped quotes.
+      "SELECT AVG(a) FROM r WHERE x = -17 AND y = 2.5 AND z = 1e3 AND "
+      "u = -0.125 AND s = 'it''s' BUDGET SIZE 9",
+      // Whitespace/case normalization and the optional semicolon.
+      "select avg(Sal) from proj where Dept = 'A' group by Proj, Dept "
+      "with time(-5, 40) budget error 0.125 using engine exact_dp;",
+      // Engine aliases: exact parses to the same engine as exact_dp.
+      "SELECT AVG(a) FROM r BUDGET ERROR 1.0 USING ENGINE exact",
+      "SELECT COUNT(*) AS n FROM r WITH TIME(0, 0) BUDGET SIZE 1 "
+      "USING ENGINE streaming",
+  };
+  for (const char* text : queries) ExpectRoundTrips(text);
+}
+
+TEST(QlRoundTrip, EqualsIgnoresLocations) {
+  auto a = ql::ParseQuery("SELECT AVG(x) FROM r BUDGET SIZE 2");
+  auto b = ql::ParseQuery("SELECT\n  AVG(x)\nFROM r\nBUDGET SIZE 2");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_TRUE(ql::Equals(*a, *b));
+}
+
+TEST(QlRoundTrip, EqualsDistinguishesStructure) {
+  auto base = ql::ParseQuery("SELECT AVG(x) FROM r BUDGET SIZE 2");
+  ASSERT_TRUE(base.ok());
+  const char* different[] = {
+      "SELECT AVG(y) FROM r BUDGET SIZE 2",
+      "SELECT SUM(x) FROM r BUDGET SIZE 2",
+      "SELECT AVG(x) AS a FROM r BUDGET SIZE 2",
+      "SELECT AVG(x) FROM s BUDGET SIZE 2",
+      "SELECT AVG(x) FROM r WHERE x = 1 BUDGET SIZE 2",
+      "SELECT AVG(x) FROM r GROUP BY g BUDGET SIZE 2",
+      "SELECT AVG(x) FROM r WITH TIME(0, 9) BUDGET SIZE 2",
+      "SELECT AVG(x) FROM r BUDGET SIZE 3",
+      "SELECT AVG(x) FROM r BUDGET ERROR 0.5",
+      "SELECT AVG(x) FROM r BUDGET SIZE 2 USING ENGINE greedy",
+  };
+  for (const char* text : different) {
+    auto other = ql::ParseQuery(text);
+    ASSERT_TRUE(other.ok()) << text;
+    EXPECT_FALSE(ql::Equals(*base, *other)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace testing
+}  // namespace pta

@@ -1,0 +1,238 @@
+// Shared machinery of the PTA-QL test suite:
+//  * the catalog of deterministic in-memory datasets every fixture query
+//    binds against (proj / sensors / jobs);
+//  * the .qltest golden-fixture format: parser, serializer, discovery.
+//
+// Fixture format (tests/fixtures/ql/*.qltest) — line-oriented sections,
+// each opened by a "-- <name>" marker:
+//
+//   -- query
+//   SELECT AVG(Sal) AS AvgSal FROM proj GROUP BY Proj BUDGET SIZE 4
+//   -- expect
+//   Proj,AvgSal,tb,te
+//   A,733.33333333333337,1,3
+//   ...
+//   -- stats
+//   engine=exact_dp
+//   rows=4
+//   sse=49166.666666666672
+//
+// or, for queries that must be rejected:
+//
+//   -- query
+//   SELECT AVG(Sal) FROM proj
+//   -- error
+//   query needs a BUDGET clause (BUDGET SIZE c or BUDGET ERROR eps) at 1:26
+//
+// The expect table is compared byte-for-byte against RelationToCsv of the
+// executed result (doubles rendered %.17g, so the goldens are exact), and
+// every stats key present must match. Running the blackbox runner with
+// --bless rewrites the expect/stats (or error) sections in place from the
+// actual results.
+
+#ifndef PTA_TESTS_QL_TEST_UTIL_H_
+#define PTA_TESTS_QL_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/relation.h"
+#include "ql/ql.h"
+#include "test_util.h"
+#include "util/status.h"
+
+namespace pta {
+namespace testing {
+
+/// Gap-free sensor feed: three sensors with one unit-interval reading per
+/// chronon 0..39. Values are multiples of 0.25, so every ITA average and
+/// merged mean is exactly representable and the goldens are byte-stable.
+inline TemporalRelation MakeSensorsRelation() {
+  TemporalRelation rel{Schema({{"sensor", ValueType::kString},
+                               {"reading", ValueType::kDouble}})};
+  const char* names[] = {"S1", "S2", "S3"};
+  for (int s = 0; s < 3; ++s) {
+    for (Chronon t = 0; t < 40; ++t) {
+      const double reading =
+          10.0 * (s + 1) + 0.25 * static_cast<double>((t * (s + 2)) % 8);
+      PTA_CHECK(rel.Insert({names[s], reading}, Interval(t, t)).ok());
+    }
+  }
+  return rel;
+}
+
+/// Employment spells with int64 salaries, two grouping columns, and
+/// temporal gaps inside every (Dept, Role) group.
+inline TemporalRelation MakeJobsRelation() {
+  TemporalRelation rel{Schema({{"Dept", ValueType::kString},
+                               {"Role", ValueType::kString},
+                               {"Sal", ValueType::kInt64}})};
+  auto add = [&rel](const char* dept, const char* role, int64_t sal,
+                    Chronon b, Chronon e) {
+    PTA_CHECK(rel.Insert({dept, role, sal}, Interval(b, e)).ok());
+  };
+  add("Eng", "Dev", 50000, 1, 5);
+  add("Eng", "Dev", 60000, 6, 10);
+  add("Eng", "Dev", 55000, 13, 18);  // gap at 11-12
+  add("Eng", "Ops", 45000, 2, 8);
+  add("Eng", "Ops", 47000, 9, 14);
+  add("Sales", "Dev", 40000, 1, 6);
+  add("Sales", "Dev", 42000, 8, 12);  // gap at 7
+  add("Sales", "Rep", 30000, 3, 9);
+  add("Sales", "Rep", 35000, 10, 15);
+  add("Sales", "Rep", 33000, 16, 20);
+  return rel;
+}
+
+/// The datasets every .qltest fixture binds against. The relations live in
+/// function-local statics, so one catalog (and the index cache entries its
+/// queries create) stays valid for the whole test binary.
+inline const ql::Catalog& FixtureCatalog() {
+  static const TemporalRelation proj = MakeProjRelation();
+  static const TemporalRelation sensors = MakeSensorsRelation();
+  static const TemporalRelation jobs = MakeJobsRelation();
+  static const ql::Catalog catalog = [] {
+    ql::Catalog c;
+    c.Register("proj", &proj);
+    c.Register("sensors", &sensors);
+    c.Register("jobs", &jobs);
+    return c;
+  }();
+  return catalog;
+}
+
+/// \brief One parsed .qltest fixture.
+struct QlFixture {
+  std::string path;
+  std::string query;
+  /// Expected CSV rendering of the result table; empty for error fixtures.
+  std::string expect;
+  /// Expected stats, key=value; only the keys present are checked.
+  std::map<std::string, std::string> stats;
+  /// Expected one-line diagnostic; non-empty marks an error fixture.
+  std::string error;
+};
+
+/// Parses the fixture format. Unknown sections and missing "-- query" are
+/// errors (a typo must not silently turn a fixture into a no-op).
+inline Result<QlFixture> ParseQlFixture(const std::string& path,
+                                        const std::string& text) {
+  QlFixture fixture;
+  fixture.path = path;
+  std::string section;
+  bool saw_query = false;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.rfind("-- ", 0) == 0) {
+      section = line.substr(3);
+      while (!section.empty() && section.back() == ' ') section.pop_back();
+      if (section != "query" && section != "expect" && section != "stats" &&
+          section != "error") {
+        return Status::InvalidArgument(path + ": unknown section '-- " +
+                                       section + "'");
+      }
+      if (section == "query") saw_query = true;
+      continue;
+    }
+    if (section.empty()) {
+      if (line.empty()) continue;  // leading blank lines
+      return Status::InvalidArgument(path +
+                                     ": content before the first section");
+    }
+    if (section == "query") {
+      fixture.query += line + "\n";
+    } else if (section == "expect") {
+      fixture.expect += line + "\n";
+    } else if (section == "error") {
+      if (!line.empty()) fixture.error = line;
+    } else {  // stats
+      if (line.empty()) continue;
+      const size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        return Status::InvalidArgument(path + ": bad stats line '" + line +
+                                       "'");
+      }
+      fixture.stats[line.substr(0, eq)] = line.substr(eq + 1);
+    }
+  }
+  if (!saw_query || fixture.query.empty()) {
+    return Status::InvalidArgument(path + ": missing '-- query' section");
+  }
+  if (!fixture.error.empty() &&
+      (!fixture.expect.empty() || !fixture.stats.empty())) {
+    return Status::InvalidArgument(
+        path + ": '-- error' excludes '-- expect'/'-- stats'");
+  }
+  return fixture;
+}
+
+inline Result<QlFixture> LoadQlFixture(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseQlFixture(path, buffer.str());
+}
+
+/// Renders a double the way the CSV writer does, so blessed sse values
+/// compare byte-identically.
+inline std::string FormatStatDouble(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// The stats lines a blessed fixture records, in serialization order.
+inline std::vector<std::pair<std::string, std::string>> StatsLines(
+    const ql::ExecStats& stats) {
+  return {{"engine", EngineName(stats.engine)},
+          {"input", std::to_string(stats.input_rows)},
+          {"filtered", std::to_string(stats.filtered_rows)},
+          {"ita", std::to_string(stats.ita_size)},
+          {"rows", std::to_string(stats.rows)},
+          {"sse", FormatStatDouble(stats.error)}};
+}
+
+/// Serializes a fixture back to disk form. Exactly one of `expect`+`stats`
+/// (success) or `error` is written after the query.
+inline std::string SerializeQlFixture(const QlFixture& fixture) {
+  std::string out = "-- query\n" + fixture.query;
+  if (!fixture.error.empty()) {
+    out += "-- error\n" + fixture.error + "\n";
+    return out;
+  }
+  out += "-- expect\n" + fixture.expect;
+  if (!fixture.stats.empty()) {
+    out += "-- stats\n";
+    for (const auto& [key, value] : fixture.stats) {
+      out += key + "=" + value + "\n";
+    }
+  }
+  return out;
+}
+
+/// All *.qltest files under `dir`, sorted (deterministic test order).
+inline std::vector<std::string> DiscoverQlFixtures(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".qltest") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+}  // namespace testing
+}  // namespace pta
+
+#endif  // PTA_TESTS_QL_TEST_UTIL_H_
