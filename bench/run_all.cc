@@ -38,6 +38,7 @@ constexpr BenchSpec kBenches[] = {
     {"bench_fig19_runtime_output", ""},
     {"bench_fig20_heap_size", ""},
     {"bench_fig21_greedy_scalability", ""},
+    {"bench_index_persist", ""},
     {"bench_index_rebudget", ""},
     {"bench_parallel_scaling", ""},
     {"bench_query_engines", ""},

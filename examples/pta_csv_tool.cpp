@@ -32,7 +32,10 @@
 #include <string>
 #include <vector>
 
+#include "core/ita.h"
 #include "datasets/csv.h"
+#include "pta/index.h"
+#include "pta/index_io.h"
 #include "pta/pta.h"
 #include "ql/ql.h"
 
@@ -48,6 +51,8 @@ struct Args {
   std::vector<std::string> aggs;
   std::string query;
   std::string query_file;
+  std::string save_index;
+  std::string load_index;
   size_t size = 0;
   double error = -1.0;
   bool greedy = false;
@@ -62,14 +67,19 @@ void Usage(FILE* out, const char* argv0) {
       "          (--query STMT | --query-file FILE |\n"
       "           --agg KIND:ATTR:OUT [--agg ...] [--group-by A[,...]]\n"
       "           (--size C | --error EPS) [--greedy] [--delta N]\n"
-      "           [--merge-across-gaps])\n"
+      "           [--merge-across-gaps] [--save-index FILE])\n"
       "          [--output FILE]\n"
+      "   or: %s --load-index FILE (--size C | --error EPS)\n"
+      "          [--schema ...] [--group-by ...] [--output FILE]\n"
+      "--save-index persists the flag-mode query's merge-tree index; a\n"
+      "later --load-index run answers any budget from it without the\n"
+      "input CSV, byte-identical to a direct run (docs/PERSISTENCE.md)\n"
       "types: int64, double, string; kinds: avg, sum, count, min, max\n"
       "PTA-QL: SELECT AVG(Sal) AS X FROM input [WHERE ...] [GROUP BY ...]\n"
       "        [WITH TIME(b, e)] BUDGET SIZE c | BUDGET ERROR eps\n"
       "        [USING ENGINE exact|greedy|parallel|streaming|indexed|auto]\n"
       "(run without arguments for a built-in demo)\n",
-      argv0);
+      argv0, argv0);
 }
 
 // Malformed command line or query: one-line diagnostic, exit 2.
@@ -247,6 +257,123 @@ int RunFlagQuery(const Args& args, const Schema& schema,
   return EmitResult(*out, args);
 }
 
+// --save-index: the flag query runs on the recorded merge-tree engine —
+// build the full dendrogram once, persist it via pta/index_io.h, then
+// answer the requested budget as a cut of that same index. A later
+// --load-index run at the same budget emits byte-identical CSV.
+int RunSaveIndexQuery(const Args& args, const Schema& schema,
+                      const TemporalRelation& rel) {
+  ItaSpec spec;
+  if (!args.group_by.empty()) spec.group_by = Split(args.group_by, ',');
+  for (const std::string& agg : args.aggs) {
+    if (!ParseAgg(agg, &spec.aggregates)) {
+      return FlagError("bad --agg value: " + agg);
+    }
+  }
+
+  auto ita = Ita(rel, spec);
+  if (!ita.ok()) {
+    if (ita.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(ita.status().message());
+    }
+    return RunError("ITA failed: " + ita.status().message());
+  }
+  const size_t ita_size = ita->size();
+
+  PtaIndexOptions options;
+  options.merge_across_gaps = args.merge_across_gaps;
+  auto index = PtaIndex::Build(std::move(*ita), options);
+  if (!index.ok()) {
+    return RunError("index build failed: " + index.status().message());
+  }
+  const Status saved = SaveIndex(*index, args.save_index);
+  if (!saved.ok()) {
+    return RunError("writing index " + args.save_index +
+                    " failed: " + saved.message());
+  }
+
+  auto cut = args.size > 0 ? index->CutToSize(args.size)
+                           : index->CutToError(args.error);
+  if (!cut.ok()) {
+    if (cut.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(cut.status().message());
+    }
+    return RunError("cut failed: " + cut.status().message());
+  }
+
+  std::vector<AttributeDef> group_attrs;
+  for (const std::string& name : spec.group_by) {
+    const int idx = schema.IndexOf(name);
+    PTA_CHECK(idx >= 0);
+    group_attrs.push_back(schema.attribute(idx));
+  }
+  auto out = cut->relation.ToTemporalRelation(Schema(group_attrs));
+  if (!out.ok()) {
+    return RunError("output conversion failed: " + out.status().message());
+  }
+
+  std::fprintf(stderr, "index: %zu leaves, %zu merges (cmin %zu) saved to %s\n",
+               index->input_size(), index->merges(), index->cmin(),
+               args.save_index.c_str());
+  std::fprintf(stderr, "ITA result: %zu tuples -> reduced to %zu (SSE %.6g)\n",
+               ita_size, cut->relation.size(), cut->error);
+  return EmitResult(*out, args);
+}
+
+// --load-index: answer a budget straight from a persisted index — no input
+// CSV, no rebuild. --schema/--group-by (when given) type the emitted group
+// columns exactly like a flag-mode run of the original query would.
+int RunLoadIndex(const Args& args) {
+  auto index = LoadIndex(args.load_index);
+  if (!index.ok()) {
+    if (index.status().code() == StatusCode::kInvalidArgument) {
+      // Malformed or corrupt index bytes: a usage error, like a bad flag.
+      return FlagError(index.status().message());
+    }
+    return RunError("reading " + args.load_index +
+                    " failed: " + index.status().message());
+  }
+
+  auto cut = args.size > 0 ? index->CutToSize(args.size)
+                           : index->CutToError(args.error);
+  if (!cut.ok()) {
+    if (cut.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(cut.status().message());
+    }
+    return RunError("cut failed: " + cut.status().message());
+  }
+
+  Schema schema;
+  if (!args.schema.empty() && !ParseSchema(args.schema, &schema)) {
+    return FlagError("bad --schema value: " + args.schema);
+  }
+  std::vector<AttributeDef> group_attrs;
+  if (!args.group_by.empty()) {
+    for (const std::string& name : Split(args.group_by, ',')) {
+      const int idx = schema.IndexOf(name);
+      if (idx < 0) {
+        return FlagError("--group-by attribute " + name +
+                         " is not in --schema");
+      }
+      group_attrs.push_back(schema.attribute(idx));
+    }
+  }
+  auto out = cut->relation.ToTemporalRelation(Schema(group_attrs));
+  if (!out.ok()) {
+    // The saved index knows its group-key arity; a --group-by that does
+    // not match the recorded query surfaces here.
+    return FlagError("output conversion failed: " + out.status().message());
+  }
+
+  std::fprintf(stderr,
+               "index: %zu leaves, %zu merges (cmin %zu) loaded from %s\n",
+               index->input_size(), index->merges(), index->cmin(),
+               args.load_index.c_str());
+  std::fprintf(stderr, "reduced to %zu rows (SSE %.6g)\n",
+               cut->relation.size(), cut->error);
+  return EmitResult(*out, args);
+}
+
 int RunDemo() {
   std::printf("no arguments given; running the built-in demo "
               "(the paper's Fig. 1 example)\n\n");
@@ -318,6 +445,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return FlagError("--query-file needs a value");
       args.query_file = v;
+    } else if (flag == "--save-index") {
+      const char* v = next();
+      if (v == nullptr) return FlagError("--save-index needs a value");
+      args.save_index = v;
+    } else if (flag == "--load-index") {
+      const char* v = next();
+      if (v == nullptr) return FlagError("--load-index needs a value");
+      args.load_index = v;
     } else if (flag == "--size") {
       const char* v = next();
       if (v == nullptr) return FlagError("--size needs a value");
@@ -349,6 +484,23 @@ int main(int argc, char** argv) {
         "--query states the whole query; it cannot be combined with "
         "--agg/--group-by/--size/--error/--greedy");
   }
+  if (!args.save_index.empty() && (query_mode || args.greedy)) {
+    return FlagError(
+        "--save-index records the merge-tree index of a flag-mode query; "
+        "it cannot be combined with --query/--query-file/--greedy");
+  }
+  if (!args.load_index.empty()) {
+    if (query_mode || !args.input.empty() || !args.aggs.empty() ||
+        !args.save_index.empty() || args.greedy) {
+      return FlagError(
+          "--load-index replays a saved index; combine it only with a "
+          "budget, --schema/--group-by, and --output");
+    }
+    if (args.size == 0 && args.error < 0.0) {
+      return FlagError("a budget is required: --size C or --error EPS");
+    }
+    return RunLoadIndex(args);
+  }
   if (args.input.empty() || args.schema.empty()) {
     return FlagError("--input and --schema are required (see --help)");
   }
@@ -371,5 +523,6 @@ int main(int argc, char** argv) {
   }
 
   if (query_mode) return RunQuery(args, *rel);
+  if (!args.save_index.empty()) return RunSaveIndexQuery(args, schema, *rel);
   return RunFlagQuery(args, schema, *rel);
 }

@@ -1,6 +1,7 @@
 #include "pta/index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -277,6 +278,136 @@ Result<PtaIndex> PtaIndex::Build(SequentialRelation input,
     stats->merges = total_merges;
     stats->build_seconds = watch.ElapsedSeconds();
   }
+  return index;
+}
+
+Result<PtaIndex> PtaIndex::FromParts(SequentialRelation input,
+                                     std::vector<MergeNode> merges,
+                                     std::vector<double> merge_values,
+                                     std::vector<double> deltas,
+                                     std::vector<double> cumulative,
+                                     std::vector<double> weights,
+                                     bool merge_across_gaps) {
+  PTA_RETURN_IF_ERROR(input.Validate());
+  const size_t p = input.num_aggregates();
+  const size_t n = input.size();
+  const size_t m = merges.size();
+  if (!weights.empty()) {
+    if (weights.size() != p) {
+      return Status::InvalidArgument(
+          "weights arity (" + std::to_string(weights.size()) +
+          ") does not match the aggregate dimension count (" +
+          std::to_string(p) + ")");
+    }
+    for (const double w : weights) {
+      if (!(w > 0.0)) {
+        return Status::InvalidArgument("weights must be positive");
+      }
+    }
+  }
+  if (merge_values.size() != m * p) {
+    return Status::InvalidArgument("merge payload size mismatch");
+  }
+  if (deltas.size() != m) {
+    return Status::InvalidArgument("merge delta count mismatch");
+  }
+  if (cumulative.size() != m + 1) {
+    return Status::InvalidArgument("cumulative error count mismatch");
+  }
+  // The error curve must be exactly what Build would have accumulated:
+  // cum_[0] = +0.0 and each step adds the recorded delta in merge order.
+  // The comparison is on bits, not values, so the loaded curve replays
+  // bitwise in cuts (and NaN smuggling fails here rather than downstream).
+  const auto bits = [](double v) {
+    uint64_t b;
+    std::memcpy(&b, &v, sizeof(b));
+    return b;
+  };
+  if (bits(cumulative[0]) != bits(0.0)) {
+    return Status::InvalidArgument("cumulative error curve must start at 0");
+  }
+  double running = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    running += deltas[j];
+    if (bits(running) != bits(cumulative[j + 1])) {
+      return Status::InvalidArgument(
+          "cumulative error curve does not match the merge deltas at merge " +
+          std::to_string(j));
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (input.interval(i).begin > input.interval(i).end) {
+      return Status::InvalidArgument("inverted leaf interval at segment " +
+                                     std::to_string(i));
+    }
+  }
+
+  // Structural check: merge j may only fold two distinct, not-yet-consumed
+  // nodes that already exist (index < n + j), its group must agree with
+  // both children, and its interval must be their hull. Everything the cut
+  // walks rely on follows from this — no descent can go out of bounds or
+  // loop.
+  std::vector<bool> consumed(n + m, false);
+  std::vector<int32_t> node_group(n + m);
+  std::vector<Interval> node_t(n + m);
+  for (size_t i = 0; i < n; ++i) {
+    node_group[i] = input.group(i);
+    node_t[i] = input.interval(i);
+  }
+  for (size_t j = 0; j < m; ++j) {
+    const MergeNode& node = merges[j];
+    const auto in_range = [&](int32_t x) {
+      return x >= 0 && static_cast<size_t>(x) < n + j;
+    };
+    if (!in_range(node.left) || !in_range(node.right) ||
+        node.left == node.right) {
+      return Status::InvalidArgument("merge " + std::to_string(j) +
+                                     " references invalid dendrogram nodes");
+    }
+    const size_t l = static_cast<size_t>(node.left);
+    const size_t r = static_cast<size_t>(node.right);
+    if (consumed[l] || consumed[r]) {
+      return Status::InvalidArgument("merge " + std::to_string(j) +
+                                     " reuses an already-merged node");
+    }
+    if (node.group != node_group[l] || node.group != node_group[r]) {
+      return Status::InvalidArgument("merge " + std::to_string(j) +
+                                     " crosses aggregation groups");
+    }
+    const Interval hull = Interval::Hull(node_t[l], node_t[r]);
+    if (!(node.t == hull)) {
+      return Status::InvalidArgument(
+          "merge " + std::to_string(j) +
+          " interval is not the hull of its children");
+    }
+    consumed[l] = true;
+    consumed[r] = true;
+    node_group[n + j] = node.group;
+    node_t[n + j] = node.t;
+  }
+
+  PtaIndex index;
+  index.input_ = std::move(input);
+  index.merges_ = std::move(merges);
+  index.merge_values_ = std::move(merge_values);
+  index.delta_ = std::move(deltas);
+  index.cum_ = std::move(cumulative);
+  index.weights_ = std::move(weights);
+  index.merge_across_gaps_ = merge_across_gaps;
+
+  // Roots are recomputed exactly as Build does, never trusted from the
+  // caller — the frontier-at-merges() invariant holds by construction.
+  std::vector<int32_t> lo(n + m);
+  for (size_t i = 0; i < n; ++i) lo[i] = static_cast<int32_t>(i);
+  for (size_t j = 0; j < m; ++j) {
+    lo[n + j] = lo[static_cast<size_t>(index.merges_[j].left)];
+  }
+  index.roots_.reserve(n - m);
+  for (size_t x = 0; x < consumed.size(); ++x) {
+    if (!consumed[x]) index.roots_.push_back(static_cast<int32_t>(x));
+  }
+  std::sort(index.roots_.begin(), index.roots_.end(),
+            [&lo](int32_t a, int32_t b) { return lo[a] < lo[b]; });
   return index;
 }
 

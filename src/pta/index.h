@@ -98,6 +98,44 @@ class PtaIndex {
                                 const PtaIndexOptions& options = {},
                                 PtaIndexBuildStats* stats = nullptr);
 
+  /// The internal node created by (1-based) merge step j + 1; its payload
+  /// lives at merge_values()[j * p .. (j + 1) * p). Public because the
+  /// persistence layer (pta/index_io.h) serializes the dendrogram verbatim.
+  struct MergeNode {
+    int32_t left = -1;   // dendrogram node folded into (the predecessor)
+    int32_t right = -1;  // dendrogram node folded away (the heap top)
+    int32_t group = 0;
+    Interval t;  // hull under gap merging, concatenation otherwise
+  };
+
+  /// Reassembles an index from its recorded parts (the load path of
+  /// pta/index_io.h). Validates everything Build() would have guaranteed:
+  /// input order, weights arity/positivity, array-size consistency, the
+  /// delta/cumulative error relationship (bitwise — the running sum is
+  /// re-accumulated in merge order), and the dendrogram's structure (every
+  /// child index in range and consumed exactly once, groups and intervals
+  /// consistent with the children). Roots are recomputed, not trusted.
+  /// Rejects anything else as InvalidArgument — never crashes on a
+  /// malformed dendrogram.
+  static Result<PtaIndex> FromParts(SequentialRelation input,
+                                    std::vector<MergeNode> merges,
+                                    std::vector<double> merge_values,
+                                    std::vector<double> deltas,
+                                    std::vector<double> cumulative,
+                                    std::vector<double> weights,
+                                    bool merge_across_gaps);
+
+  /// Read access to the recorded run, for serialization and tests: the
+  /// dendrogram nodes in merge order, their payloads (merges() * p
+  /// row-major doubles), the per-merge introduced error, the cumulative
+  /// curve (merges() + 1, starting at 0.0), and the build options.
+  const std::vector<MergeNode>& merge_nodes() const { return merges_; }
+  const std::vector<double>& merge_values() const { return merge_values_; }
+  const std::vector<double>& merge_deltas() const { return delta_; }
+  const std::vector<double>& cumulative_errors() const { return cum_; }
+  const std::vector<double>& weights() const { return weights_; }
+  bool merge_across_gaps() const { return merge_across_gaps_; }
+
   /// Number of input segments (the dendrogram's leaves).
   size_t input_size() const { return input_.size(); }
   /// Aggregate values per segment (the paper's p).
@@ -140,15 +178,6 @@ class PtaIndex {
       const std::vector<size_t>& sizes) const;
 
  private:
-  /// The internal node created by (1-based) merge step j + 1; its payload
-  /// lives at merge_values_[j * p .. (j + 1) * p).
-  struct MergeNode {
-    int32_t left = -1;   // dendrogram node folded into (the predecessor)
-    int32_t right = -1;  // dendrogram node folded away (the heap top)
-    int32_t group = 0;
-    Interval t;  // hull under gap merging, concatenation otherwise
-  };
-
   /// Creation step of dendrogram node x: leaves exist from step 0, the
   /// node of merge j from step j + 1.
   size_t CreatedAt(int32_t x) const {

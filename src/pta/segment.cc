@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 namespace pta {
 
@@ -22,6 +23,19 @@ void SequentialRelation::Append(int32_t group, Interval t,
 void SequentialRelation::Append(const Segment& seg) {
   PTA_CHECK_MSG(seg.values.size() == p_, "segment arity mismatch");
   Append(seg.group, seg.t, seg.values.data());
+}
+
+void SequentialRelation::AdoptColumns(std::vector<int32_t> groups,
+                                      std::vector<Interval> intervals,
+                                      std::vector<double> values) {
+  PTA_CHECK_MSG(empty(), "AdoptColumns requires an empty relation");
+  PTA_CHECK_MSG(intervals.size() == groups.size(),
+                "column lengths must agree");
+  PTA_CHECK_MSG(values.size() == groups.size() * p_,
+                "value column must hold p doubles per row");
+  groups_ = std::move(groups);
+  intervals_ = std::move(intervals);
+  values_ = std::move(values);
 }
 
 void SequentialRelation::SetValueNames(std::vector<std::string> names) {
@@ -106,6 +120,22 @@ bool SequentialRelation::ApproxEquals(const SequentialRelation& other,
     }
   }
   return true;
+}
+
+bool SequentialRelation::BitwiseEquals(const SequentialRelation& other) const {
+  if (size() != other.size() || p_ != other.p_) return false;
+  if (empty()) return true;
+  if (std::memcmp(groups_.data(), other.groups_.data(),
+                  size() * sizeof(int32_t)) != 0) {
+    return false;
+  }
+  for (size_t i = 0; i < size(); ++i) {
+    if (!(intervals_[i] == other.intervals_[i])) return false;
+  }
+  // memcmp, not ==, so signed zeros differ and equal-payload NaNs match.
+  return values_.empty() ||
+         std::memcmp(values_.data(), other.values_.data(),
+                     values_.size() * sizeof(double)) == 0;
 }
 
 std::string SequentialRelation::ToString() const {

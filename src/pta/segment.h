@@ -67,6 +67,15 @@ class SequentialRelation {
   void Append(const Segment& seg);
   void Reserve(size_t n);
 
+  /// Adopts whole columns by move (the persistence loader's bulk path —
+  /// per-row Append dominates large index loads otherwise). The relation
+  /// must be empty; `values` must hold exactly `groups.size() * p` doubles
+  /// and `intervals` must match `groups` in length. No ordering checks
+  /// happen here — callers run Validate() (or PtaIndex::FromParts) after.
+  void AdoptColumns(std::vector<int32_t> groups,
+                    std::vector<Interval> intervals,
+                    std::vector<double> values);
+
   /// True if segments i and i+1 are adjacent (Def. 2): same group and no
   /// temporal gap. Requires i+1 < size().
   bool AdjacentPair(size_t i) const {
@@ -96,6 +105,12 @@ class SequentialRelation {
 
   /// Element-wise comparison with tolerance on aggregate values.
   bool ApproxEquals(const SequentialRelation& other, double tol = 1e-9) const;
+
+  /// Exact comparison: same groups, intervals, and bit-identical aggregate
+  /// doubles (NaNs with equal payloads compare equal, +0.0 != -0.0). This
+  /// is the persistence-identity predicate — use it wherever "byte-
+  /// identical to the reducer" is the claim, not ApproxEquals.
+  bool BitwiseEquals(const SequentialRelation& other) const;
 
   /// Renders one segment per line: "g=<id> [b, e] (v1, ..., vp)".
   std::string ToString() const;

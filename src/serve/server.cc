@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "pta/index.h"
+#include "pta/index_io.h"
+#include "util/binio.h"
 
 namespace pta {
 
@@ -218,6 +220,65 @@ Result<PtaSession> PtaServer::OpenSession(const std::string& dataset,
   std::shared_lock<std::shared_mutex> lock(session.dataset_->mu);
   auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
   if (!plan.ok()) return plan.status();
+  lock.unlock();
+  return session;
+}
+
+Status PtaServer::SaveDataset(const std::string& name,
+                              const std::string& path, ItaSpec spec,
+                              std::vector<double> weights) {
+  auto handle = Find(name);
+  if (handle == nullptr) return Status::NotFound("unknown dataset: " + name);
+  PtaSession session(this, std::move(handle), std::move(spec),
+                     std::move(weights));
+  std::string bytes;
+  {
+    // Build (or fetch) under the shared lock like any query, so the saved
+    // bytes can never interleave with an UpdateDataset swap; the file
+    // write happens outside it.
+    std::shared_lock<std::shared_mutex> lock(session.dataset_->mu);
+    auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
+    if (!plan.ok()) return plan.status();
+    auto index = internal::IndexCacheGetOrBuild(*plan, nullptr);
+    if (!index.ok()) return index.status();
+    bytes = SerializeIndex(**index);
+  }
+  return io::WriteFile(path, bytes);
+}
+
+Result<PtaSession> PtaServer::WarmStart(const std::string& name,
+                                        const std::string& path) {
+  Result<PtaIndex> loaded = LoadIndex(path);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded->merge_across_gaps()) {
+    return Status::InvalidArgument(
+        "index was built with merge_across_gaps, which serve sessions "
+        "never use; it cannot warm-start a served dataset");
+  }
+  const std::vector<double> weights = loaded->weights();
+
+  // Register the recorded input as the served data; the dataset's stable
+  // address is what the cache keys fingerprints and generations by.
+  PTA_RETURN_IF_ERROR(AddDataset(name, SequentialRelation(loaded->input())));
+  auto handle = Find(name);
+  PtaSession session(this, std::move(handle), ItaSpec{}, weights);
+
+  std::shared_lock<std::shared_mutex> lock(session.dataset_->mu);
+  auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
+  if (!plan.ok()) {
+    lock.unlock();
+    DropDataset(name);
+    return plan.status();
+  }
+  // Seed the cache under the fingerprint a session query computes *now* —
+  // PlanFingerprint reads the address's current generation tag, so the
+  // warmed entry obeys the same invalidation contract as a built one, and
+  // noting the fingerprint keeps kAuto's re-budget routing consistent.
+  const uint64_t fingerprint = PlanFingerprint(*plan);
+  internal::IndexCacheInsert(
+      fingerprint, session.dataset_->address(),
+      std::make_shared<const PtaIndex>(std::move(*loaded)));
+  internal::IndexCacheNoteFingerprint(fingerprint);
   lock.unlock();
   return session;
 }

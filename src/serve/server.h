@@ -191,6 +191,27 @@ class PtaServer {
   Result<PtaSession> OpenSession(const std::string& dataset, ItaSpec spec,
                                  std::vector<double> weights = {});
 
+  /// Persists the dataset's index for the given query shape (the same
+  /// spec/weights a session would carry) to `path` via pta/index_io.h:
+  /// builds the index — or reuses the cached one — under the dataset's
+  /// shared lock, then writes the serialized bytes. NotFound for an
+  /// unknown dataset, IoError when the file cannot be written.
+  Status SaveDataset(const std::string& name, const std::string& path,
+                     ItaSpec spec = {}, std::vector<double> weights = {});
+
+  /// The warm-start path: loads a persisted index from `path`, registers
+  /// its recorded input as a new sequential dataset under `name`, seeds
+  /// the process-wide plan cache with the loaded index under the
+  /// dataset's *current* generation tag, and returns an open session —
+  /// whose first Cut at any budget is an O(k) frontier walk, no rebuild.
+  /// The subsequent lifecycle is unchanged: UpdateDataset bumps the
+  /// generation and the warmed index becomes unreachable like any other
+  /// cache entry. Fails InvalidArgument on malformed index bytes, on a
+  /// duplicate name, or on a gap-merging index (serve sessions never use
+  /// merge_across_gaps, so such an index could never be served).
+  Result<PtaSession> WarmStart(const std::string& name,
+                               const std::string& path);
+
   PtaServerStats stats() const;
   const ServeOptions& options() const { return options_; }
 

@@ -42,7 +42,10 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <queue>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/interval.h"
@@ -132,6 +135,24 @@ class StreamingPtaEngine {
   /// drain stops at the cmin. Fails with FailedPrecondition on a second
   /// call or on ingestion after finalization.
   Result<SequentialRelation> Finalize();
+
+  /// Serializes the complete engine state (options, watermark, Prop. 3
+  /// counters, stats, pending emissions, and every live merge chain) into
+  /// a versioned, checksummed byte string (stream/snapshot.cc; format in
+  /// docs/PERSISTENCE.md). RestoreSnapshot on the result yields an engine
+  /// that replays the rest of the stream byte-identically to one that was
+  /// never interrupted: keys, tie-break ids, and the floating-point
+  /// accumulator state are all preserved bitwise.
+  std::string SaveSnapshot() const;
+
+  /// Rebuilds an engine from SaveSnapshot bytes. Chain links, heap
+  /// candidates, and node versions are reconstructed; every restored key
+  /// is recomputed with KeyFor and verified bitwise against the stored
+  /// one. Malformed input (truncation, bit flips, bad magic, future
+  /// version, structural lies) is rejected as InvalidArgument, never a
+  /// crash.
+  static Result<std::unique_ptr<StreamingPtaEngine>> RestoreSnapshot(
+      std::string_view bytes);
 
   /// Live (unsealed, unfinalized) rows currently held.
   size_t live_rows() const { return live_; }

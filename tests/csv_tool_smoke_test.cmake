@@ -114,3 +114,95 @@ expect_usage_error("query and flag mode mixed" "^error: "
                    --schema Empl:string,Proj:string,Sal:double
                    --agg avg:Sal:AvgSal
                    --query "SELECT AVG(Sal) FROM input BUDGET SIZE 4")
+
+# 6. The persistence loop (docs/PERSISTENCE.md). --save-index runs the
+# query on the recorded merge-tree engine and persists the dendrogram;
+# --load-index answers budgets from the file alone, without the input CSV.
+# Its cuts are greedy (not exact DP), hence the separate golden.
+function(compare_files a b label)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    RESULT_VARIABLE diff_rc
+  )
+  if(NOT diff_rc EQUAL 0)
+    file(READ ${a} a_text)
+    file(READ ${b} b_text)
+    message(FATAL_ERROR "${label}: outputs differ.\n"
+                        "--- ${a} ---\n${a_text}\n"
+                        "--- ${b} ---\n${b_text}")
+  endif()
+endfunction()
+
+function(run_index_tool output)
+  execute_process(
+    COMMAND ${TOOL} ${ARGN}
+    OUTPUT_FILE ${output}
+    ERROR_VARIABLE tool_stderr
+    RESULT_VARIABLE tool_rc
+  )
+  if(NOT tool_rc EQUAL 0)
+    message(FATAL_ERROR
+            "pta_csv_tool ${ARGN} exited with ${tool_rc}: ${tool_stderr}")
+  endif()
+endfunction()
+
+# Save: build + persist the index, emit the size-4 cut.
+run_index_tool(${OUT_DIR}/csv_tool_save.csv
+               --input ${FIXTURE_DIR}/proj.csv
+               --schema Empl:string,Proj:string,Sal:double
+               --group-by Proj --agg avg:Sal:AvgSal --size 4
+               --save-index ${OUT_DIR}/csv_tool_proj.ptaidx)
+compare_files(${OUT_DIR}/csv_tool_save.csv
+              ${FIXTURE_DIR}/proj_index_golden.csv "--save-index emit")
+
+# Reload at the same budget: byte-identical to the save-time emit.
+run_index_tool(${OUT_DIR}/csv_tool_load.csv
+               --load-index ${OUT_DIR}/csv_tool_proj.ptaidx
+               --schema Empl:string,Proj:string,Sal:double
+               --group-by Proj --size 4)
+compare_files(${OUT_DIR}/csv_tool_load.csv
+              ${FIXTURE_DIR}/proj_index_golden.csv "--load-index reload")
+
+# Re-budget from the file: byte-identical to a direct run at the new
+# budget (the O(k) re-cut answers any budget, not just the saved one).
+run_index_tool(${OUT_DIR}/csv_tool_load5.csv
+               --load-index ${OUT_DIR}/csv_tool_proj.ptaidx
+               --schema Empl:string,Proj:string,Sal:double
+               --group-by Proj --size 5)
+run_index_tool(${OUT_DIR}/csv_tool_direct5.csv
+               --input ${FIXTURE_DIR}/proj.csv
+               --schema Empl:string,Proj:string,Sal:double
+               --group-by Proj --agg avg:Sal:AvgSal --size 5
+               --save-index ${OUT_DIR}/csv_tool_proj5.ptaidx)
+compare_files(${OUT_DIR}/csv_tool_load5.csv ${OUT_DIR}/csv_tool_direct5.csv
+              "--load-index re-budget vs direct run")
+
+# 7. The exit-2 stderr contract for a corrupt index file, plus the
+# --load-index flag-combination rules. (Bit-level corruption is fuzzed
+# exhaustively in index_io_fuzz_test; this checks the CLI surface.)
+file(WRITE ${OUT_DIR}/csv_tool_corrupt.ptaidx "this is not an index file")
+expect_usage_error("corrupt index file" "^error: not a PTA index file"
+                   --load-index ${OUT_DIR}/csv_tool_corrupt.ptaidx --size 4)
+expect_usage_error("flag conflict with --load-index" "^error: --load-index"
+                   --load-index ${OUT_DIR}/csv_tool_proj.ptaidx
+                   --input ${FIXTURE_DIR}/proj.csv --size 4)
+expect_usage_error("--load-index without a budget" "^error: a budget"
+                   --load-index ${OUT_DIR}/csv_tool_proj.ptaidx)
+expect_usage_error("--save-index in query mode" "^error: --save-index"
+                   --input ${FIXTURE_DIR}/proj.csv
+                   --schema Empl:string,Proj:string,Sal:double
+                   --save-index ${OUT_DIR}/csv_tool_never.ptaidx
+                   --query "SELECT AVG(Sal) FROM input BUDGET SIZE 4")
+
+# A missing index file is a runtime failure (exit 1), not a usage error.
+execute_process(
+  COMMAND ${TOOL} --load-index ${OUT_DIR}/csv_tool_missing.ptaidx --size 4
+  OUTPUT_VARIABLE tool_stdout
+  ERROR_VARIABLE tool_stderr
+  RESULT_VARIABLE tool_rc
+)
+if(NOT tool_rc EQUAL 1)
+  message(FATAL_ERROR
+          "missing index file: expected exit code 1, got ${tool_rc}:"
+          " ${tool_stderr}")
+endif()

@@ -1,0 +1,204 @@
+// The on-disk format freeze: golden fixtures under tests/fixtures/index.
+//
+// Every case regenerates its artifact in-process from a deterministic
+// recipe and compares it byte-for-byte with the checked-in file. The two
+// directions this guards:
+//
+//  * serializer drift — any change to SerializeIndex / SaveSnapshot
+//    output (field order, widths, checksum, endianness) fails the
+//    byte-exact compare, forcing a deliberate format-version bump;
+//  * loader compatibility — the checked-in v1 files must keep loading
+//    into objects identical to freshly built ones, which is the promise
+//    that yesterday's saved indexes survive tomorrow's binary.
+//
+// future_version.ptaidx is the one rejection fixture: a well-formed file
+// whose version field says 99, asserting the "unsupported format version"
+// InvalidArgument contract (never a crash, never a misparse).
+//
+// Flags (before the gtest flags), mirroring ql_blackbox_test:
+//   --fixtures=DIR   fixture directory (default: $PTA_INDEX_FIXTURE_DIR,
+//                    falling back to "tests/fixtures/index")
+//   --bless          rewrite every fixture from the in-process bytes
+//
+// Regenerate after an intended format change with:
+//   ./index_golden_test --bless && git diff tests/fixtures/index
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pta/index.h"
+#include "pta/index_io.h"
+#include "stream/stream.h"
+#include "test_util.h"
+#include "util/binio.h"
+
+namespace pta {
+namespace testing {
+namespace {
+
+std::string g_fixture_dir = "tests/fixtures/index";
+bool g_bless = false;
+
+std::string PatchVersion(std::string bytes, uint32_t version) {
+  for (int i = 0; i < 4; ++i) {
+    bytes[8 + i] = static_cast<char>((version >> (8 * i)) & 0xff);
+  }
+  const uint64_t sum = io::Checksum64(bytes.data(), bytes.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + i] = static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+PtaIndex BuildOrDie(const SequentialRelation& rel,
+                    const PtaIndexOptions& options = {}) {
+  auto index = PtaIndex::Build(rel, options);
+  PTA_CHECK_MSG(index.ok(), index.status().ToString().c_str());
+  return std::move(*index);
+}
+
+// ---- the deterministic corpus (same recipes that blessed the files) ----
+
+std::string MakeProjFixture() {
+  return SerializeIndex(BuildOrDie(MakeProjIta()));
+}
+
+std::string MakeWeightedGapsFixture() {
+  const SequentialRelation rel = RandomSequential(40, 2, 3, 0.25, 5);
+  PtaIndexOptions options;
+  options.weights = {0.5, 2.0};
+  options.merge_across_gaps = true;
+  return SerializeIndex(BuildOrDie(rel, options));
+}
+
+std::string MakeEmptyFixture() {
+  return SerializeIndex(BuildOrDie(SequentialRelation(1, {"AvgSal"})));
+}
+
+std::string MakeStreamSnapshotFixture() {
+  const SequentialRelation feed = RandomSequential(30, 2, 1, 0.2, 9);
+  StreamingOptions options;
+  options.size_budget = 6;
+  StreamingPtaEngine engine(2, options);
+  PTA_CHECK(engine.IngestChunk(feed).ok());
+  PTA_CHECK(
+      engine.AdvanceWatermark(feed.interval(feed.size() / 2).begin).ok());
+  return engine.SaveSnapshot();
+}
+
+std::string MakeFutureVersionFixture() {
+  return PatchVersion(MakeProjFixture(), 99);
+}
+
+enum class Kind { kIndex, kSnapshot, kRejectedIndex };
+
+struct GoldenCase {
+  const char* filename;
+  std::string (*make)();
+  Kind kind;
+};
+
+const GoldenCase kCases[] = {
+    {"proj_v1.ptaidx", MakeProjFixture, Kind::kIndex},
+    {"weighted_gaps_v1.ptaidx", MakeWeightedGapsFixture, Kind::kIndex},
+    {"empty_v1.ptaidx", MakeEmptyFixture, Kind::kIndex},
+    {"stream_v1.ptasnap", MakeStreamSnapshotFixture, Kind::kSnapshot},
+    {"future_version.ptaidx", MakeFutureVersionFixture, Kind::kRejectedIndex},
+};
+
+std::string CaseName(const ::testing::TestParamInfo<GoldenCase>& info) {
+  std::string name = info.param.filename;
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+class IndexGoldenTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(IndexGoldenTest, Golden) {
+  const GoldenCase& c = GetParam();
+  const std::string path = g_fixture_dir + "/" + c.filename;
+  const std::string fresh = c.make();
+
+  if (g_bless) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.is_open()) << "cannot rewrite " << path;
+    out.write(fresh.data(), static_cast<std::streamsize>(fresh.size()));
+    return;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open())
+      << path << " is missing (create it with --bless)";
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string golden = buffer.str();
+
+  // Direction 1: today's serializer still writes yesterday's bytes.
+  ASSERT_EQ(golden.size(), fresh.size())
+      << "serialized size drifted from the golden (an intended format "
+         "change needs a version bump and --bless)";
+  EXPECT_TRUE(golden == fresh) << "serialized bytes drifted from the golden";
+
+  // Direction 2: yesterday's bytes still load (or still get rejected).
+  switch (c.kind) {
+    case Kind::kIndex: {
+      auto loaded = DeserializeIndex(golden);
+      ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+      EXPECT_TRUE(golden == SerializeIndex(*loaded))
+          << "load + re-serialize is not the identity";
+      break;
+    }
+    case Kind::kSnapshot: {
+      auto restored = StreamingPtaEngine::RestoreSnapshot(golden);
+      ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+      EXPECT_TRUE(golden == (*restored)->SaveSnapshot())
+          << "restore + re-save is not the identity";
+      break;
+    }
+    case Kind::kRejectedIndex: {
+      auto loaded = DeserializeIndex(golden);
+      ASSERT_FALSE(loaded.ok()) << "a version-99 file must not load";
+      EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_EQ(loaded.status().message(),
+                "unsupported PTA index format version 99");
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, IndexGoldenTest,
+                         ::testing::ValuesIn(kCases), CaseName);
+
+}  // namespace
+}  // namespace testing
+}  // namespace pta
+
+int main(int argc, char** argv) {
+  if (const char* env = std::getenv("PTA_INDEX_FIXTURE_DIR")) {
+    pta::testing::g_fixture_dir = env;
+  }
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fixtures=", 11) == 0) {
+      pta::testing::g_fixture_dir = argv[i] + 11;
+    } else if (std::strcmp(argv[i], "--bless") == 0) {
+      pta::testing::g_bless = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  args.push_back(nullptr);
+  ::testing::InitGoogleTest(&filtered_argc, args.data());
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,197 @@
+// The hostile-byte battery for the persistence formats (pta/index_io.h,
+// StreamingPtaEngine::RestoreSnapshot): ~100k seeded corruptions — every
+// truncation prefix, tens of thousands of random bit flips, and
+// checksum-repaired structural mutations that reach the deep validators —
+// each of which must come back as a structured Status (or, for a
+// semantically harmless mutation, a loadable object), NEVER a crash, an
+// over-read, or a runaway allocation. scripts/ci.sh --asan runs this
+// under AddressSanitizer + UBSan; --tsan runs it too (persist label).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pta/index.h"
+#include "pta/index_io.h"
+#include "stream/stream.h"
+#include "test_util.h"
+#include "util/binio.h"
+#include "util/random.h"
+
+namespace pta {
+namespace {
+
+using testing::RandomSequential;
+
+// Serialized corpus: one small index (the paper example), one larger
+// randomized index with weights and string group keys, and one mid-stream
+// snapshot with pending emissions and live chains.
+std::string SmallIndexBytes() {
+  auto index = PtaIndex::Build(testing::MakeProjIta());
+  PTA_CHECK(index.ok());
+  return SerializeIndex(*index);
+}
+
+std::string BigIndexBytes() {
+  const SequentialRelation rel = RandomSequential(150, 3, 5, 0.2, 19);
+  PtaIndexOptions options;
+  options.weights = {1.0, 0.5, 2.0};
+  auto index = PtaIndex::Build(rel, options);
+  PTA_CHECK(index.ok());
+  return SerializeIndex(*index);
+}
+
+std::string SnapshotBytes() {
+  const SequentialRelation feed = RandomSequential(100, 2, 1, 0.25, 31);
+  StreamingOptions options;
+  options.size_budget = 10;
+  StreamingPtaEngine engine(2, options);
+  PTA_CHECK(engine.IngestChunk(feed).ok());
+  PTA_CHECK(engine.AdvanceWatermark(feed.interval(feed.size() / 2).begin).ok());
+  return engine.SaveSnapshot();
+}
+
+// Recomputes the trailing checksum after a deliberate body mutation, so
+// the corruption reaches the structural validators instead of stopping at
+// the checksum gate.
+std::string FixChecksum(std::string bytes) {
+  PTA_CHECK(bytes.size() >= 8);
+  const uint64_t sum = io::Checksum64(bytes.data(), bytes.size() - 8);
+  for (int i = 0; i < 8; ++i) {
+    bytes[bytes.size() - 8 + i] = static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+  return bytes;
+}
+
+// Feeding one corrupted buffer to its parser must terminate with a Status
+// or a valid object; a valid index additionally answers a cut and a valid
+// engine finalizes, proving the loaded state is actually usable.
+size_t ProbeIndex(const std::string& bytes) {
+  auto loaded = DeserializeIndex(bytes);
+  if (loaded.ok()) {
+    auto cut = loaded->CutToSize(loaded->cmin());
+    (void)cut;
+  } else {
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  return 1;
+}
+
+size_t ProbeSnapshot(const std::string& bytes) {
+  auto restored = StreamingPtaEngine::RestoreSnapshot(bytes);
+  if (restored.ok()) {
+    auto final = (*restored)->Finalize();
+    (void)final;
+  } else {
+    EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  }
+  return 1;
+}
+
+size_t ProbeBoth(bool is_snapshot, const std::string& bytes) {
+  return is_snapshot ? ProbeSnapshot(bytes) : ProbeIndex(bytes);
+}
+
+TEST(IndexIoFuzzTest, HundredThousandCorruptionsNeverCrash) {
+  const std::vector<std::pair<bool, std::string>> corpus = {
+      {false, SmallIndexBytes()},
+      {false, BigIndexBytes()},
+      {true, SnapshotBytes()},
+  };
+  size_t cases = 0;
+
+  // 1. Truncation at every prefix length of every corpus entry. A
+  //    truncated file is never valid: the checksum footer is gone.
+  for (const auto& [is_snapshot, bytes] : corpus) {
+    for (size_t keep = 0; keep < bytes.size(); ++keep) {
+      const std::string prefix = bytes.substr(0, keep);
+      if (is_snapshot) {
+        EXPECT_FALSE(StreamingPtaEngine::RestoreSnapshot(prefix).ok())
+            << "kept " << keep;
+      } else {
+        EXPECT_FALSE(DeserializeIndex(prefix).ok()) << "kept " << keep;
+      }
+      ++cases;
+    }
+  }
+
+  // 2. Random single- and multi-bit flips. Without a checksum repair a
+  //    flip is always rejected (a flip inside the footer corrupts the
+  //    stored sum instead).
+  Random rng(2026);
+  for (const auto& [is_snapshot, bytes] : corpus) {
+    for (int iter = 0; iter < 25000; ++iter) {
+      std::string corrupt = bytes;
+      const int flips = static_cast<int>(rng.UniformInt(1, 4));
+      for (int f = 0; f < flips; ++f) {
+        const size_t pos =
+            static_cast<size_t>(rng.UniformInt(0, corrupt.size() - 1));
+        corrupt[pos] =
+            static_cast<char>(corrupt[pos] ^ (1 << rng.UniformInt(0, 7)));
+      }
+      // An even number of flips can land on the same bit and cancel out;
+      // only a buffer that actually differs must be rejected.
+      if (corrupt == bytes) continue;
+      if (is_snapshot) {
+        EXPECT_FALSE(StreamingPtaEngine::RestoreSnapshot(corrupt).ok());
+      } else {
+        EXPECT_FALSE(DeserializeIndex(corrupt).ok());
+      }
+      ++cases;
+    }
+  }
+
+  // 3. Checksum-repaired random byte mutations: these get past the gate
+  //    and exercise the structural validators (count bounds, dendrogram
+  //    consistency, cumulative-error bitwise checks, chain ordering). A
+  //    mutation may happen to be semantically harmless — then the loaded
+  //    object must be fully usable — but it must never crash.
+  for (const auto& [is_snapshot, bytes] : corpus) {
+    for (int iter = 0; iter < 6000; ++iter) {
+      std::string corrupt = bytes;
+      const size_t pos =
+          static_cast<size_t>(rng.UniformInt(0, corrupt.size() - 9));
+      corrupt[pos] = static_cast<char>(rng.UniformInt(0, 255));
+      cases += ProbeBoth(is_snapshot, FixChecksum(std::move(corrupt)));
+    }
+  }
+
+  // 4. Header-field battery: every byte of the header region crossed with
+  //    adversarial values (zero, all-ones, sign/top bits), checksum
+  //    repaired. This is where length overflows and version skews live.
+  const unsigned char kPoison[] = {0x00, 0x01, 0x7f, 0x80, 0xff};
+  for (const auto& [is_snapshot, bytes] : corpus) {
+    const size_t header = std::min<size_t>(bytes.size() - 8, 72);
+    for (size_t pos = 0; pos < header; ++pos) {
+      for (const unsigned char value : kPoison) {
+        std::string corrupt = bytes;
+        corrupt[pos] = static_cast<char>(value);
+        cases += ProbeBoth(is_snapshot, FixChecksum(std::move(corrupt)));
+      }
+    }
+  }
+
+  // 5. Targeted 64-bit length overflows at every count slot of the index
+  //    header and at the section-count fields of the snapshot.
+  for (const auto& [is_snapshot, bytes] : corpus) {
+    for (size_t slot = 0; slot < 6; ++slot) {
+      for (const uint64_t huge :
+           {uint64_t{1} << 32, uint64_t{1} << 48, uint64_t{1} << 60,
+            ~uint64_t{0}}) {
+        std::string corrupt = bytes;
+        const size_t off = 16 + 8 * slot;
+        if (off + 8 > corrupt.size() - 8) continue;
+        std::memcpy(&corrupt[off], &huge, sizeof(huge));
+        cases += ProbeBoth(is_snapshot, FixChecksum(std::move(corrupt)));
+      }
+    }
+  }
+
+  EXPECT_GE(cases, 100000u) << "the battery shrank below its ~100k floor";
+}
+
+}  // namespace
+}  // namespace pta

@@ -19,14 +19,16 @@
 namespace pta {
 namespace testing {
 
-/// The byte-identity comparator the equivalence suites share: same
-/// segments, same groups and intervals, and bitwise-equal values (== on
-/// doubles; none of the reducers produce NaNs). Kept in one place so the
-/// PR 5 identity contract cannot drift between suites.
+/// The byte-identity comparator the equivalence suites share. The verdict
+/// is SequentialRelation::BitwiseEquals — a memcmp-strength check (so even
+/// a 0.0 / -0.0 sign difference fails); the per-field loop below only runs
+/// on a mismatch, to localize it in the failure output. Kept in one place
+/// so the PR 5 identity contract cannot drift between suites.
 inline void ExpectByteIdentical(const SequentialRelation& a,
                                 const SequentialRelation& b) {
   ASSERT_EQ(a.size(), b.size());
   ASSERT_EQ(a.num_aggregates(), b.num_aggregates());
+  if (a.BitwiseEquals(b)) return;
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a.group(i), b.group(i)) << "segment " << i;
     EXPECT_EQ(a.interval(i), b.interval(i)) << "segment " << i;
@@ -35,6 +37,9 @@ inline void ExpectByteIdentical(const SequentialRelation& a,
           << "segment " << i << " dim " << d;
     }
   }
+  // == on doubles can miss what memcmp saw (0.0 vs -0.0): never let a
+  // BitwiseEquals failure pass silently.
+  ADD_FAILURE() << "SequentialRelation::BitwiseEquals reported a mismatch";
 }
 
 /// The proj relation of Fig. 1(a): five project assignments over months 1-8.
