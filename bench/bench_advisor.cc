@@ -1,0 +1,295 @@
+// Granularity advisor: recommendation cost and quality gates.
+//
+// Not a paper figure — this benchmarks the PR 9 advisor subsystem
+// (advisor/advisor.h) on the Fig. 18 workloads: (a) the gap-free
+// sequential S1 subset and (b) the grouped S2 subset (50 groups), p = 10.
+// The advisor walks the index's recorded error curve, so a recommendation
+// must cost O(k) — far below re-running the merge it summarizes.
+//
+// Stdout is JSON Lines: one record per workload and a summary. Invariants
+// enforced (non-zero exit on violation):
+//   * a knee recommendation on a prebuilt index costs <= 0.5x one full
+//     GMS greedy run (in practice it is orders of magnitude below);
+//   * repeated Advise calls return the same budget, bitwise the same SSE,
+//     and the same per-group allocation — the advisor is deterministic;
+//   * Advise(TargetRelativeError(eps)) picks exactly the size
+//     CutToError(eps) cuts to, and cutting at the advised budget is
+//     byte-identical to that cut;
+//   * the water-filled per-group allocation's total SSE never exceeds the
+//     uniform split's at equal total budget.
+//
+// Usage: bench_advisor [--quick]   (also honors PTA_BENCH_SCALE)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "advisor/advisor.h"
+#include "advisor/error_curve.h"
+#include "bench_util.h"
+#include "datasets/synthetic.h"
+#include "pta/pta.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+using namespace pta;
+
+using bench::ExactlyEqual;
+
+constexpr int kReps = 5;  // best-of, to damp scheduler noise
+
+template <typename Fn>
+double BestOf(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    Stopwatch watch;
+    fn();
+    const double seconds = watch.ElapsedSeconds();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+bool BitwiseSame(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+// The allocator's own uniform split, replicated: equal shares clamped to
+// each group's [cmin, leaves] plus one deterministic redistribution
+// sweep. This is the advisor's internal uniform candidate, so the
+// advised allocation can tie it but never lose to it.
+std::vector<size_t> UniformSizes(const std::vector<advisor::ErrorCurve>& curves,
+                                 size_t total) {
+  const size_t num_groups = curves.size();
+  std::vector<size_t> sizes(num_groups);
+  const size_t base = total / num_groups;
+  const size_t rem = total % num_groups;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t want = base + (g < rem ? 1 : 0);
+    sizes[g] = std::clamp(want, curves[g].coarsest_size(),
+                          curves[g].finest_size());
+  }
+  size_t sum = 0;
+  for (const size_t c : sizes) sum += c;
+  if (sum < total) {
+    size_t give = total - sum;
+    for (size_t g = 0; g < num_groups && give > 0; ++g) {
+      const size_t add = std::min(curves[g].finest_size() - sizes[g], give);
+      sizes[g] += add;
+      give -= add;
+    }
+  } else if (sum > total) {
+    size_t take = sum - total;
+    for (size_t g = 0; g < num_groups && take > 0; ++g) {
+      const size_t sub = std::min(sizes[g] - curves[g].coarsest_size(), take);
+      sizes[g] -= sub;
+      take -= sub;
+    }
+  }
+  return sizes;
+}
+
+struct WorkloadResult {
+  std::string name;
+  size_t n = 0;
+  size_t knee_budget = 0;
+  double knee_relative = 0.0;
+  double gms_full_run_seconds = 0.0;
+  double advise_seconds = 0.0;
+  double eps_sweep_seconds = 0.0;
+  bool deterministic = true;
+  bool eps_identical = true;
+  bool per_group_ok = true;
+
+  double advise_over_greedy() const {
+    return gms_full_run_seconds > 0.0
+               ? advise_seconds / gms_full_run_seconds
+               : 0.0;
+  }
+};
+
+WorkloadResult RunWorkload(const char* name, const SequentialRelation& rel) {
+  WorkloadResult result;
+  result.name = name;
+  result.n = rel.size();
+  const size_t cmin = rel.CMin();
+  const std::vector<double> eps_grid = {0.01, 0.05, 0.1, 0.25, 0.5, 0.9};
+  GreedyOptions greedy;
+  greedy.delta = GreedyOptions::kDeltaInfinity;
+
+  // The yardstick: one maximal plain greedy run (GMS to cmin) — the very
+  // merge sequence the index build records once.
+  result.gms_full_run_seconds = BestOf([&] {
+    auto red = GmsReduceToSize(rel, cmin, greedy);
+    PTA_CHECK_MSG(red.ok(), red.status().message().c_str());
+  });
+
+  auto built = PtaIndex::Build(rel, {});
+  PTA_CHECK_MSG(built.ok(), built.status().message().c_str());
+  const PtaIndex& index = *built;
+
+  // --- cost: a recommendation is a curve walk, not a re-run ------------
+  result.advise_seconds = BestOf([&] {
+    auto advice = advisor::Advise(index, advisor::AdvisorOptions::Knee());
+    PTA_CHECK(advice.ok());
+  });
+  result.eps_sweep_seconds = BestOf([&] {
+    for (const double eps : eps_grid) {
+      auto advice = advisor::Advise(
+          index, advisor::AdvisorOptions::TargetRelativeError(eps));
+      PTA_CHECK(advice.ok());
+    }
+  });
+
+  // --- determinism: same budget, bitwise SSE, same allocation ----------
+  advisor::AdvisorOptions knee = advisor::AdvisorOptions::Knee();
+  knee.per_group = true;
+  auto first = advisor::Advise(index, knee);
+  PTA_CHECK(first.ok());
+  result.knee_budget = first->budget;
+  result.knee_relative = first->relative_error;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto again = advisor::Advise(index, knee);
+    PTA_CHECK(again.ok());
+    bool same = again->budget == first->budget &&
+                BitwiseSame(again->sse, first->sse) &&
+                again->group_budgets.size() == first->group_budgets.size();
+    if (same) {
+      for (size_t g = 0; g < first->group_budgets.size(); ++g) {
+        same = same &&
+               again->group_budgets[g].group ==
+                   first->group_budgets[g].group &&
+               again->group_budgets[g].budget ==
+                   first->group_budgets[g].budget &&
+               BitwiseSame(again->group_budgets[g].sse,
+                           first->group_budgets[g].sse);
+      }
+    }
+    result.deterministic = result.deterministic && same;
+  }
+
+  // --- the acceptance gate: eps advice == CutToError, byte for byte ----
+  for (const double eps : eps_grid) {
+    auto advice = advisor::Advise(
+        index, advisor::AdvisorOptions::TargetRelativeError(eps));
+    auto by_error = index.CutToError(eps);
+    PTA_CHECK(advice.ok() && by_error.ok());
+    bool same = advice->budget == by_error->relation.size() &&
+                BitwiseSame(advice->sse, by_error->error);
+    if (same) {
+      auto by_size = index.CutToSize(advice->budget);
+      PTA_CHECK(by_size.ok());
+      same = ExactlyEqual(by_size->relation, by_error->relation) &&
+             BitwiseSame(by_size->error, by_error->error);
+    }
+    result.eps_identical = result.eps_identical && same;
+  }
+
+  // --- allocation quality: water-filling never loses to uniform --------
+  const std::vector<advisor::ErrorCurve> curves =
+      advisor::ErrorCurve::PerGroup(index);
+  size_t floor_total = 0;
+  for (const advisor::ErrorCurve& curve : curves) {
+    floor_total += curve.coarsest_size();
+  }
+  const std::vector<size_t> totals = {
+      std::clamp(result.knee_budget, floor_total, rel.size()),
+      std::clamp(rel.size() / 4, floor_total, rel.size()),
+      std::clamp(rel.size() / 2, floor_total, rel.size()),
+  };
+  for (const size_t total : totals) {
+    auto advised = advisor::AllocateGroupBudgets(index, total);
+    PTA_CHECK(advised.ok());
+    double advised_sse = 0.0;
+    for (const advisor::GroupBudget& gb : *advised) advised_sse += gb.sse;
+    const std::vector<size_t> uniform = UniformSizes(curves, total);
+    double uniform_sse = 0.0;
+    for (size_t g = 0; g < curves.size(); ++g) {
+      auto sse = curves[g].ErrorAt(uniform[g]);
+      PTA_CHECK(sse.ok());
+      uniform_sse += *sse;
+    }
+    result.per_group_ok = result.per_group_ok && advised_sse <= uniform_sse;
+  }
+  return result;
+}
+
+void PrintRecord(const WorkloadResult& r) {
+  std::printf(
+      "{\"bench\": \"advisor\", \"workload\": \"%s\", \"n\": %zu, "
+      "\"knee_budget\": %zu, \"knee_relative\": %.6f, "
+      "\"gms_full_run_seconds\": %.6f, \"advise_seconds\": %.6f, "
+      "\"eps_sweep_seconds\": %.6f, \"advise_over_greedy\": %.4f, "
+      "\"deterministic\": %s, \"eps_identical\": %s, "
+      "\"per_group_ok\": %s}\n",
+      r.name.c_str(), r.n, r.knee_budget, r.knee_relative,
+      r.gms_full_run_seconds, r.advise_seconds, r.eps_sweep_seconds,
+      r.advise_over_greedy(), r.deterministic ? "true" : "false",
+      r.eps_identical ? "true" : "false", r.per_group_ok ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") {
+      setenv("PTA_BENCH_SCALE", "0.05", /*overwrite=*/0);
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const size_t n = bench::Scaled(20000, /*minimum=*/800);
+  // Fig. 18(a): gap-free sequential S1 subset, p = 10.
+  const SequentialRelation s1 =
+      GenerateSyntheticSequential(1, n, 10, 100 + n);
+  // Fig. 18(b): grouped S2 subset, 50 groups.
+  const SequentialRelation s2 =
+      GenerateSyntheticSequential(50, n / 50, 10, 200 + n);
+
+  const WorkloadResult a = RunWorkload("fig18a_s1", s1);
+  const WorkloadResult b = RunWorkload("fig18b_s2", s2);
+  PrintRecord(a);
+  PrintRecord(b);
+
+  const double worst_ratio = std::max(a.advise_over_greedy(),
+                                      b.advise_over_greedy());
+  const bool deterministic = a.deterministic && b.deterministic;
+  const bool eps_identical = a.eps_identical && b.eps_identical;
+  const bool per_group_ok = a.per_group_ok && b.per_group_ok;
+  const bool cost_ok = worst_ratio <= 0.5;
+  std::printf(
+      "{\"bench\": \"advisor\", \"summary\": true, "
+      "\"worst_advise_over_greedy\": %.4f, \"cost_ok\": %s, "
+      "\"deterministic\": %s, \"eps_identical\": %s, "
+      "\"per_group_ok\": %s}\n",
+      worst_ratio, cost_ok ? "true" : "false",
+      deterministic ? "true" : "false", eps_identical ? "true" : "false",
+      per_group_ok ? "true" : "false");
+
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: Advise is not deterministic\n");
+    return 1;
+  }
+  if (!eps_identical) {
+    std::fprintf(stderr,
+                 "FAIL: an eps recommendation diverged from CutToError\n");
+    return 1;
+  }
+  if (!per_group_ok) {
+    std::fprintf(stderr,
+                 "FAIL: a water-filled allocation lost to the uniform split\n");
+    return 1;
+  }
+  if (!cost_ok) {
+    std::fprintf(stderr, "FAIL: Advise cost %.4fx exceeds 0.5x greedy\n",
+                 worst_ratio);
+    return 1;
+  }
+  return 0;
+}

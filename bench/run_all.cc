@@ -29,6 +29,7 @@ struct BenchSpec {
 constexpr BenchSpec kBenches[] = {
     {"bench_ablation_gap_merge", ""},
     {"bench_ablation_pruning", ""},
+    {"bench_advisor", ""},
     {"bench_fig2_approximations", ""},
     {"bench_fig14_error_vs_reduction", ""},
     {"bench_fig15_greedy_quality", ""},

@@ -14,8 +14,10 @@
 //   * classic flags:
 //       pta_csv_tool --input data.csv --schema Dept:string,Sal:double
 //                    --group-by Dept --agg avg:Sal:AvgSal
-//                    (--size 100 | --error 0.05) [--greedy] [--delta 1]
-//                    [--merge-across-gaps]
+//                    (--size 100 | --error 0.05 | --advise) [--greedy]
+//                    [--delta 1] [--merge-across-gaps]
+//     (--advise asks the granularity advisor for the budget instead of
+//     naming one; see docs/ADVISOR.md)
 //
 // Exit codes: 0 success; 2 for malformed flags or a malformed/invalid
 // query (one-line "error: <msg>[ at <line>:<col>]" on stderr); 1 for
@@ -32,6 +34,8 @@
 #include <string>
 #include <vector>
 
+#include "advisor/advisor.h"
+#include "advisor/error_curve.h"
 #include "core/ita.h"
 #include "datasets/csv.h"
 #include "pta/index.h"
@@ -53,8 +57,11 @@ struct Args {
   std::string query_file;
   std::string save_index;
   std::string load_index;
+  std::string curve_out;
   size_t size = 0;
   double error = -1.0;
+  bool advise = false;
+  bool per_group = false;
   bool greedy = false;
   size_t delta = 1;
   bool merge_across_gaps = false;
@@ -66,17 +73,25 @@ void Usage(FILE* out, const char* argv0) {
       "usage: %s --input FILE --schema NAME:TYPE[,...]\n"
       "          (--query STMT | --query-file FILE |\n"
       "           --agg KIND:ATTR:OUT [--agg ...] [--group-by A[,...]]\n"
-      "           (--size C | --error EPS) [--greedy] [--delta N]\n"
+      "           (--size C | --error EPS | --advise [--error EPS]\n"
+      "            [--per-group] [--curve FILE])\n"
+      "           [--greedy] [--delta N]\n"
       "           [--merge-across-gaps] [--save-index FILE])\n"
       "          [--output FILE]\n"
-      "   or: %s --load-index FILE (--size C | --error EPS)\n"
+      "   or: %s --load-index FILE (--size C | --error EPS | --advise)\n"
       "          [--schema ...] [--group-by ...] [--output FILE]\n"
       "--save-index persists the flag-mode query's merge-tree index; a\n"
       "later --load-index run answers any budget from it without the\n"
       "input CSV, byte-identical to a direct run (docs/PERSISTENCE.md)\n"
+      "--advise picks the budget from the index's recorded error curve\n"
+      "(docs/ADVISOR.md): with --error EPS the smallest size meeting that\n"
+      "relative-error target, otherwise the knee of the normalized curve;\n"
+      "--per-group adds a water-filled per-group allocation and --curve\n"
+      "exports the size,sse knots as CSV\n"
       "types: int64, double, string; kinds: avg, sum, count, min, max\n"
       "PTA-QL: SELECT AVG(Sal) AS X FROM input [WHERE ...] [GROUP BY ...]\n"
-      "        [WITH TIME(b, e)] BUDGET SIZE c | BUDGET ERROR eps\n"
+      "        [WITH TIME(b, e)] BUDGET SIZE c | BUDGET ERROR eps |\n"
+      "        BUDGET AUTO [ERROR <= eps | KNEE]\n"
       "        [USING ENGINE exact|greedy|parallel|streaming|indexed|auto]\n"
       "(run without arguments for a built-in demo)\n",
       argv0, argv0);
@@ -320,9 +335,106 @@ int RunSaveIndexQuery(const Args& args, const Schema& schema,
   return EmitResult(*out, args);
 }
 
+// --advise: let the granularity advisor pick the budget from the index's
+// recorded error curve, report the recommendation on stderr, then answer
+// it as a cut of that same index. --error EPS (when present) selects the
+// target-relative-error criterion; otherwise the knee of the normalized
+// curve decides (docs/ADVISOR.md).
+int AdviseAndEmit(const PtaIndex& index, const Args& args,
+                  const std::vector<AttributeDef>& group_attrs) {
+  advisor::AdvisorOptions options =
+      args.error >= 0.0 ? advisor::AdvisorOptions::TargetRelativeError(args.error)
+                        : advisor::AdvisorOptions::Knee();
+  options.per_group = args.per_group;
+  auto advice = advisor::Advise(index, options);
+  if (!advice.ok()) {
+    if (advice.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(advice.status().message());
+    }
+    return RunError("advise failed: " + advice.status().message());
+  }
+
+  const advisor::ErrorCurve curve = advisor::ErrorCurve::FromIndex(index);
+  if (!args.curve_out.empty()) {
+    std::ofstream curve_file(args.curve_out);
+    if (!curve_file) {
+      return RunError("cannot write curve file " + args.curve_out);
+    }
+    curve_file << curve.ToCsv();
+  }
+  std::fprintf(stderr,
+               "error curve: sizes %zu..%zu over %zu knots, Emax %.6g\n",
+               curve.coarsest_size(), curve.finest_size(), curve.num_knots(),
+               curve.scale());
+  std::fprintf(stderr,
+               "advice: criterion=%s budget=%zu sse=%.6g relative=%.6g\n",
+               advisor::CriterionName(advice->criterion), advice->budget,
+               advice->sse, advice->relative_error);
+  for (const advisor::GroupBudget& gb : advice->group_budgets) {
+    std::fprintf(stderr, "  group %d: budget %zu (sse %.6g)\n", gb.group,
+                 gb.budget, gb.sse);
+  }
+  if (!advice->group_budgets.empty()) {
+    std::fprintf(stderr, "  per-group total sse %.6g\n",
+                 advice->group_total_sse);
+  }
+
+  if (advice->budget == 0) {
+    return RunError("the input relation is empty; nothing to cut");
+  }
+  auto cut = index.CutToSize(advice->budget);
+  if (!cut.ok()) {
+    return RunError("cut failed: " + cut.status().message());
+  }
+  auto out = cut->relation.ToTemporalRelation(Schema(group_attrs));
+  if (!out.ok()) {
+    return FlagError("output conversion failed: " + out.status().message());
+  }
+  return EmitResult(*out, args);
+}
+
+// --advise over a CSV input: build the merge-tree index like --save-index
+// does, then hand the recommendation and the cut to AdviseAndEmit.
+int RunAdviseQuery(const Args& args, const Schema& schema,
+                   const TemporalRelation& rel) {
+  ItaSpec spec;
+  if (!args.group_by.empty()) spec.group_by = Split(args.group_by, ',');
+  for (const std::string& agg : args.aggs) {
+    if (!ParseAgg(agg, &spec.aggregates)) {
+      return FlagError("bad --agg value: " + agg);
+    }
+  }
+
+  auto ita = Ita(rel, spec);
+  if (!ita.ok()) {
+    if (ita.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(ita.status().message());
+    }
+    return RunError("ITA failed: " + ita.status().message());
+  }
+
+  PtaIndexOptions options;
+  options.merge_across_gaps = args.merge_across_gaps;
+  auto index = PtaIndex::Build(std::move(*ita), options);
+  if (!index.ok()) {
+    return RunError("index build failed: " + index.status().message());
+  }
+  std::fprintf(stderr, "index: %zu leaves, %zu merges (cmin %zu)\n",
+               index->input_size(), index->merges(), index->cmin());
+
+  std::vector<AttributeDef> group_attrs;
+  for (const std::string& name : spec.group_by) {
+    const int idx = schema.IndexOf(name);
+    PTA_CHECK(idx >= 0);
+    group_attrs.push_back(schema.attribute(idx));
+  }
+  return AdviseAndEmit(*index, args, group_attrs);
+}
+
 // --load-index: answer a budget straight from a persisted index — no input
 // CSV, no rebuild. --schema/--group-by (when given) type the emitted group
-// columns exactly like a flag-mode run of the original query would.
+// columns exactly like a flag-mode run of the original query would. With
+// --advise the budget comes from the advisor instead of the flags.
 int RunLoadIndex(const Args& args) {
   auto index = LoadIndex(args.load_index);
   if (!index.ok()) {
@@ -332,15 +444,6 @@ int RunLoadIndex(const Args& args) {
     }
     return RunError("reading " + args.load_index +
                     " failed: " + index.status().message());
-  }
-
-  auto cut = args.size > 0 ? index->CutToSize(args.size)
-                           : index->CutToError(args.error);
-  if (!cut.ok()) {
-    if (cut.status().code() == StatusCode::kInvalidArgument) {
-      return FlagError(cut.status().message());
-    }
-    return RunError("cut failed: " + cut.status().message());
   }
 
   Schema schema;
@@ -358,6 +461,21 @@ int RunLoadIndex(const Args& args) {
       group_attrs.push_back(schema.attribute(idx));
     }
   }
+
+  std::fprintf(stderr,
+               "index: %zu leaves, %zu merges (cmin %zu) loaded from %s\n",
+               index->input_size(), index->merges(), index->cmin(),
+               args.load_index.c_str());
+  if (args.advise) return AdviseAndEmit(*index, args, group_attrs);
+
+  auto cut = args.size > 0 ? index->CutToSize(args.size)
+                           : index->CutToError(args.error);
+  if (!cut.ok()) {
+    if (cut.status().code() == StatusCode::kInvalidArgument) {
+      return FlagError(cut.status().message());
+    }
+    return RunError("cut failed: " + cut.status().message());
+  }
   auto out = cut->relation.ToTemporalRelation(Schema(group_attrs));
   if (!out.ok()) {
     // The saved index knows its group-key arity; a --group-by that does
@@ -365,10 +483,6 @@ int RunLoadIndex(const Args& args) {
     return FlagError("output conversion failed: " + out.status().message());
   }
 
-  std::fprintf(stderr,
-               "index: %zu leaves, %zu merges (cmin %zu) loaded from %s\n",
-               index->input_size(), index->merges(), index->cmin(),
-               args.load_index.c_str());
   std::fprintf(stderr, "reduced to %zu rows (SSE %.6g)\n",
                cut->relation.size(), cut->error);
   return EmitResult(*out, args);
@@ -461,6 +575,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return FlagError("--error needs a value");
       args.error = std::atof(v);
+    } else if (flag == "--curve") {
+      const char* v = next();
+      if (v == nullptr) return FlagError("--curve needs a value");
+      args.curve_out = v;
+    } else if (flag == "--advise") {
+      args.advise = true;
+    } else if (flag == "--per-group") {
+      args.per_group = true;
     } else if (flag == "--delta") {
       const char* v = next();
       if (v == nullptr) return FlagError("--delta needs a value");
@@ -479,25 +601,37 @@ int main(int argc, char** argv) {
     return FlagError("--query and --query-file are mutually exclusive");
   }
   if (query_mode && (!args.aggs.empty() || !args.group_by.empty() ||
-                     args.size > 0 || args.error >= 0.0 || args.greedy)) {
+                     args.size > 0 || args.error >= 0.0 || args.greedy ||
+                     args.advise)) {
     return FlagError(
         "--query states the whole query; it cannot be combined with "
-        "--agg/--group-by/--size/--error/--greedy");
+        "--agg/--group-by/--size/--error/--greedy/--advise "
+        "(use BUDGET AUTO inside the statement)");
   }
-  if (!args.save_index.empty() && (query_mode || args.greedy)) {
+  if (args.advise && (args.size > 0 || args.greedy)) {
+    return FlagError(
+        "--advise picks the budget from the merge-tree index; it cannot "
+        "be combined with --size/--greedy (--error EPS, when given, "
+        "selects the target-relative-error criterion)");
+  }
+  if ((args.per_group || !args.curve_out.empty()) && !args.advise) {
+    return FlagError("--per-group and --curve require --advise");
+  }
+  if (!args.save_index.empty() && (query_mode || args.greedy || args.advise)) {
     return FlagError(
         "--save-index records the merge-tree index of a flag-mode query; "
-        "it cannot be combined with --query/--query-file/--greedy");
+        "it cannot be combined with --query/--query-file/--greedy/--advise");
   }
   if (!args.load_index.empty()) {
     if (query_mode || !args.input.empty() || !args.aggs.empty() ||
         !args.save_index.empty() || args.greedy) {
       return FlagError(
           "--load-index replays a saved index; combine it only with a "
-          "budget, --schema/--group-by, and --output");
+          "budget or --advise, --schema/--group-by, and --output");
     }
-    if (args.size == 0 && args.error < 0.0) {
-      return FlagError("a budget is required: --size C or --error EPS");
+    if (!args.advise && args.size == 0 && args.error < 0.0) {
+      return FlagError(
+          "a budget is required: --size C, --error EPS, or --advise");
     }
     return RunLoadIndex(args);
   }
@@ -507,8 +641,9 @@ int main(int argc, char** argv) {
   if (!query_mode && args.aggs.empty()) {
     return FlagError("state a query with --query/--query-file or --agg");
   }
-  if (!query_mode && args.size == 0 && args.error < 0.0) {
-    return FlagError("a budget is required: --size C or --error EPS");
+  if (!query_mode && !args.advise && args.size == 0 && args.error < 0.0) {
+    return FlagError(
+        "a budget is required: --size C, --error EPS, or --advise");
   }
 
   Schema schema;
@@ -523,6 +658,7 @@ int main(int argc, char** argv) {
   }
 
   if (query_mode) return RunQuery(args, *rel);
+  if (args.advise) return RunAdviseQuery(args, schema, *rel);
   if (!args.save_index.empty()) return RunSaveIndexQuery(args, schema, *rel);
   return RunFlagQuery(args, schema, *rel);
 }

@@ -1,0 +1,384 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace pta {
+namespace advisor {
+
+const char* CriterionName(Criterion criterion) {
+  switch (criterion) {
+    case Criterion::kTargetRelativeError:
+      return "target_relative_error";
+    case Criterion::kKnee:
+      return "knee";
+    case Criterion::kMarginalGain:
+      return "marginal_gain";
+    case Criterion::kHoldout:
+      return "holdout";
+  }
+  return "unknown";
+}
+
+AdvisorOptions AdvisorOptions::TargetRelativeError(double eps) {
+  AdvisorOptions options;
+  options.criterion = Criterion::kTargetRelativeError;
+  options.target_eps = eps;
+  return options;
+}
+
+AdvisorOptions AdvisorOptions::Knee() {
+  AdvisorOptions options;
+  options.criterion = Criterion::kKnee;
+  return options;
+}
+
+AdvisorOptions AdvisorOptions::MarginalGain(double threshold) {
+  AdvisorOptions options;
+  options.criterion = Criterion::kMarginalGain;
+  options.marginal_gain = threshold;
+  return options;
+}
+
+AdvisorOptions AdvisorOptions::Holdout(
+    std::function<Result<double>(const Reduction&)> evaluate,
+    std::vector<size_t> candidates) {
+  AdvisorOptions options;
+  options.criterion = Criterion::kHoldout;
+  options.holdout = std::move(evaluate);
+  options.holdout_candidates = std::move(candidates);
+  return options;
+}
+
+namespace {
+
+/// The knee of the normalized curve: with coarsening progress
+/// x = m / merges and normalized error y = cum[m] / cum[merges], the knot
+/// with the largest x - y (the point furthest below the y = x chord).
+/// >= keeps the largest m on ties — the smallest size.
+size_t KneeSize(const PtaIndex& index) {
+  const size_t n = index.input_size();
+  const size_t total = index.merges();
+  const std::vector<double>& cum = index.cumulative_errors();
+  if (total == 0 || cum[total] <= 0.0) {
+    // A flat curve (nothing to merge, or every merge free): the coarsest
+    // cut loses nothing, so it is the unambiguous recommendation.
+    return n - total;
+  }
+  size_t best_m = 0;
+  double best_d = 0.0;
+  for (size_t m = 0; m <= total; ++m) {
+    const double x = static_cast<double>(m) / static_cast<double>(total);
+    const double y = cum[m] / cum[total];
+    const double d = x - y;
+    if (d >= best_d) {
+      best_d = d;
+      best_m = m;
+    }
+  }
+  return n - best_m;
+}
+
+Result<size_t> MarginalGainSize(const PtaIndex& index, double threshold) {
+  if (threshold < 0.0 || threshold > 1.0) {
+    return Status::InvalidArgument(
+        "marginal-gain threshold must be in [0, 1]");
+  }
+  const double budget = threshold * index.max_error();
+  const std::vector<double>& deltas = index.merge_deltas();
+  size_t m = 0;
+  while (m < deltas.size() && deltas[m] <= budget) ++m;
+  return index.input_size() - m;
+}
+
+Result<size_t> HoldoutSize(const PtaIndex& index,
+                           const AdvisorOptions& options) {
+  if (!options.holdout) {
+    return Status::InvalidArgument(
+        "the holdout criterion needs an evaluation callback");
+  }
+  if (index.input_size() == 0) return 0;
+  std::vector<size_t> candidates = options.holdout_candidates;
+  if (candidates.empty()) {
+    // Geometric ladder cmin, 2*cmin, ... capped at n: logarithmically
+    // many holdout evaluations across the whole curve.
+    size_t c = index.cmin();
+    while (true) {
+      candidates.push_back(c);
+      if (c >= index.input_size()) break;
+      c = std::min(index.input_size(), c * 2);
+    }
+  } else {
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+  }
+  size_t best_c = 0;
+  double best_score = 0.0;
+  for (const size_t c : candidates) {
+    auto cut = index.CutToSize(c);
+    if (!cut.ok()) return cut.status();
+    auto score = options.holdout(*cut);
+    if (!score.ok()) return score.status();
+    // Strictly-less over ascending candidates: ties keep the smaller c.
+    if (best_c == 0 || *score < best_score) {
+      best_c = c;
+      best_score = *score;
+    }
+  }
+  return best_c;
+}
+
+/// One group's slice of the recorded run: its Δ-error prefix sums in
+/// global merge order (prefix[j] = the group curve's SSE after j of its
+/// merges).
+struct GroupSlice {
+  int32_t id = 0;
+  size_t leaves = 0;
+  std::vector<double> prefix;
+
+  size_t merges() const { return prefix.size() - 1; }
+  size_t cmin() const { return leaves - merges(); }
+};
+
+std::vector<GroupSlice> SliceGroups(const PtaIndex& index) {
+  std::vector<GroupSlice> slices;
+  const SequentialRelation& input = index.input();
+  for (size_t i = 0; i < input.size(); ++i) {
+    const int32_t g = input.group(i);
+    auto it = std::find_if(slices.begin(), slices.end(),
+                           [g](const GroupSlice& s) { return s.id == g; });
+    if (it == slices.end()) {
+      slices.push_back({g, 1, {0.0}});
+    } else {
+      ++it->leaves;
+    }
+  }
+  std::sort(slices.begin(), slices.end(),
+            [](const GroupSlice& a, const GroupSlice& b) {
+              return a.id < b.id;
+            });
+  const auto& nodes = index.merge_nodes();
+  const auto& deltas = index.merge_deltas();
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    auto it = std::find_if(
+        slices.begin(), slices.end(),
+        [&nodes, j](const GroupSlice& s) { return s.id == nodes[j].group; });
+    it->prefix.push_back(it->prefix.back() + deltas[j]);
+  }
+  return slices;
+}
+
+double AllocationSse(const std::vector<GroupSlice>& slices,
+                     const std::vector<size_t>& applied) {
+  double total = 0.0;
+  for (size_t g = 0; g < slices.size(); ++g) {
+    total += slices[g].prefix[applied[g]];
+  }
+  return total;
+}
+
+/// Water-filling over convex-minorant blocks: each group's prefix-sum
+/// curve is replaced by its lower convex hull (slopes non-decreasing),
+/// and blocks are applied cheapest average Δ-error first. The hull makes
+/// the pass robust to locally non-monotone recorded deltas (a cheap merge
+/// hiding behind an expensive one is still reachable as one block).
+std::vector<size_t> WaterFill(const std::vector<GroupSlice>& slices,
+                              size_t merges_to_apply) {
+  struct Block {
+    double slope = 0.0;
+    size_t group = 0;
+    size_t start = 0;
+    size_t count = 0;
+  };
+  std::vector<Block> blocks;
+  for (size_t g = 0; g < slices.size(); ++g) {
+    const std::vector<double>& s = slices[g].prefix;
+    std::vector<size_t> hull;
+    for (size_t j = 0; j < s.size(); ++j) {
+      while (hull.size() >= 2) {
+        const size_t a = hull[hull.size() - 2];
+        const size_t b = hull.back();
+        const double s1 = (s[b] - s[a]) / static_cast<double>(b - a);
+        const double s2 = (s[j] - s[b]) / static_cast<double>(j - b);
+        if (s1 >= s2) {
+          hull.pop_back();
+        } else {
+          break;
+        }
+      }
+      hull.push_back(j);
+    }
+    for (size_t v = 1; v < hull.size(); ++v) {
+      const size_t a = hull[v - 1];
+      const size_t b = hull[v];
+      blocks.push_back({(s[b] - s[a]) / static_cast<double>(b - a), g, a,
+                        b - a});
+    }
+  }
+  std::sort(blocks.begin(), blocks.end(), [](const Block& a, const Block& b) {
+    if (a.slope != b.slope) return a.slope < b.slope;
+    if (a.group != b.group) return a.group < b.group;
+    return a.start < b.start;
+  });
+  std::vector<size_t> applied(slices.size(), 0);
+  size_t remaining = merges_to_apply;
+  for (const Block& block : blocks) {
+    if (remaining == 0) break;
+    const size_t take = std::min(block.count, remaining);
+    // Within a group, hull slopes increase, so blocks arrive in start
+    // order and `applied` stays a contiguous prefix of the group's
+    // recorded merge sequence — exactly a cut of the group's dendrogram.
+    applied[block.group] += take;
+    remaining -= take;
+  }
+  return applied;
+}
+
+std::vector<size_t> UniformFill(const std::vector<GroupSlice>& slices,
+                                size_t total) {
+  const size_t num_groups = slices.size();
+  std::vector<size_t> sizes(num_groups, 0);
+  const size_t base = total / num_groups;
+  const size_t rem = total % num_groups;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t want = base + (g < rem ? 1 : 0);
+    sizes[g] = std::clamp(want, slices[g].cmin(), slices[g].leaves);
+  }
+  size_t sum = 0;
+  for (const size_t c : sizes) sum += c;
+  // One deterministic sweep redistributes whatever the clamps displaced;
+  // total is pre-clamped to [sum cmin, sum leaves], so the slack exists.
+  if (sum < total) {
+    size_t give = total - sum;
+    for (size_t g = 0; g < num_groups && give > 0; ++g) {
+      const size_t room = slices[g].leaves - sizes[g];
+      const size_t add = std::min(room, give);
+      sizes[g] += add;
+      give -= add;
+    }
+  } else if (sum > total) {
+    size_t take = sum - total;
+    for (size_t g = 0; g < num_groups && take > 0; ++g) {
+      const size_t room = sizes[g] - slices[g].cmin();
+      const size_t sub = std::min(room, take);
+      sizes[g] -= sub;
+      take -= sub;
+    }
+  }
+  std::vector<size_t> applied(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    applied[g] = slices[g].leaves - sizes[g];
+  }
+  return applied;
+}
+
+std::vector<size_t> GlobalCutFill(const PtaIndex& index,
+                                  const std::vector<GroupSlice>& slices,
+                                  size_t merges_to_apply) {
+  std::vector<size_t> applied(slices.size(), 0);
+  const auto& nodes = index.merge_nodes();
+  for (size_t j = 0; j < merges_to_apply; ++j) {
+    const int32_t g = nodes[j].group;
+    const auto it = std::find_if(
+        slices.begin(), slices.end(),
+        [g](const GroupSlice& s) { return s.id == g; });
+    ++applied[static_cast<size_t>(it - slices.begin())];
+  }
+  return applied;
+}
+
+}  // namespace
+
+Result<std::vector<GroupBudget>> AllocateGroupBudgets(const PtaIndex& index,
+                                                      size_t total) {
+  std::vector<GroupBudget> out;
+  if (index.input_size() == 0) return out;
+  const std::vector<GroupSlice> slices = SliceGroups(index);
+  size_t lo = 0;
+  size_t hi = 0;
+  for (const GroupSlice& s : slices) {
+    lo += s.cmin();
+    hi += s.leaves;
+  }
+  total = std::clamp(total, lo, hi);
+  const size_t merges_to_apply = hi - total;
+
+  // Three feasible allocations — all per-group prefixes of the recorded
+  // run — scored by total SSE; the cheapest wins (ties keep the earlier
+  // candidate). Including uniform makes "advised <= uniform at equal
+  // total budget" hold by construction.
+  std::vector<size_t> best = WaterFill(slices, merges_to_apply);
+  double best_sse = AllocationSse(slices, best);
+  std::vector<std::vector<size_t>> rivals;
+  rivals.push_back(GlobalCutFill(index, slices, merges_to_apply));
+  rivals.push_back(UniformFill(slices, total));
+  for (std::vector<size_t>& candidate : rivals) {
+    const double sse = AllocationSse(slices, candidate);
+    if (sse < best_sse) {
+      best = std::move(candidate);
+      best_sse = sse;
+    }
+  }
+
+  out.reserve(slices.size());
+  for (size_t g = 0; g < slices.size(); ++g) {
+    out.push_back({slices[g].id, slices[g].leaves - best[g],
+                   slices[g].prefix[best[g]]});
+  }
+  return out;
+}
+
+Result<Advice> Advise(const PtaIndex& index, const AdvisorOptions& options) {
+  Advice advice;
+  advice.criterion = options.criterion;
+  const size_t n = index.input_size();
+
+  size_t budget = 0;
+  switch (options.criterion) {
+    case Criterion::kTargetRelativeError: {
+      auto size = index.SizeForError(options.target_eps);
+      if (!size.ok()) return size.status();
+      budget = *size;
+      break;
+    }
+    case Criterion::kKnee:
+      budget = KneeSize(index);
+      break;
+    case Criterion::kMarginalGain: {
+      auto size = MarginalGainSize(index, options.marginal_gain);
+      if (!size.ok()) return size.status();
+      budget = *size;
+      break;
+    }
+    case Criterion::kHoldout: {
+      auto size = HoldoutSize(index, options);
+      if (!size.ok()) return size.status();
+      budget = *size;
+      break;
+    }
+  }
+  if (n == 0) return advice;  // empty index: budget 0, SSE 0
+
+  advice.budget = budget;
+  auto sse = index.ErrorForSize(budget);
+  if (!sse.ok()) return sse.status();
+  advice.sse = *sse;
+  const double emax = index.max_error();
+  advice.relative_error = emax > 0.0 ? advice.sse / emax : 0.0;
+
+  if (options.per_group) {
+    const size_t cap = options.group_cap != 0 ? options.group_cap : budget;
+    auto allocation = AllocateGroupBudgets(index, cap);
+    if (!allocation.ok()) return allocation.status();
+    advice.group_budgets = std::move(*allocation);
+    for (const GroupBudget& g : advice.group_budgets) {
+      advice.group_total_sse += g.sse;
+    }
+  }
+  return advice;
+}
+
+}  // namespace advisor
+}  // namespace pta

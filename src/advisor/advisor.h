@@ -1,0 +1,118 @@
+// Advise — accuracy-aware budget selection over a PtaIndex.
+//
+// The paper makes the user pick the budget c; the advisor picks it from
+// the recorded error curve instead. All criteria except the holdout walk
+// the curve only — O(k) over the recorded merges, no cut materialized:
+//
+//   * TargetRelativeError(eps) — the minimal size whose SSE is
+//     <= eps * Emax. Delegates to PtaIndex::SizeForError, so the
+//     recommendation is byte-identical to the cut CutToError(eps) picks.
+//   * Knee() — the knee of the normalized error curve: the knot furthest
+//     below the chord from (coarsest, Emax-normalized 1) to (finest, 0).
+//     Ties resolve to the smallest size.
+//   * MarginalGain(t) — coarsen while the next recorded merge's Δ-error
+//     stays <= t * Emax; stop at the first violation.
+//   * Holdout(fn) — materialize candidate cuts (a geometric ladder by
+//     default) and let a user callback score each (e.g. loss on held-out
+//     data); the smallest score wins, ties resolve to the smallest size.
+//
+// Per-group recommendations allocate one budget per aggregation group
+// under a global cap: a water-filling pass over the groups' marginal
+// Δ-error curves (convex-minorant blocks, cheapest slope first), checked
+// against the uniform and the global-cut-induced allocations — the
+// cheapest of the three wins, so the advised allocation never loses to
+// uniform at equal total budget.
+
+#ifndef PTA_ADVISOR_ADVISOR_H_
+#define PTA_ADVISOR_ADVISOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "advisor/error_curve.h"
+#include "pta/error.h"
+#include "pta/index.h"
+#include "util/status.h"
+
+namespace pta {
+namespace advisor {
+
+/// \brief How Advise picks the budget.
+enum class Criterion {
+  kTargetRelativeError = 0,
+  kKnee,
+  kMarginalGain,
+  kHoldout,
+};
+
+/// Printable criterion name ("target_relative_error", "knee", ...).
+const char* CriterionName(Criterion criterion);
+
+/// \brief Advise() knobs; build them with the named constructors.
+struct AdvisorOptions {
+  Criterion criterion = Criterion::kKnee;
+  /// kTargetRelativeError: the relative SSE bound, in [0, 1].
+  double target_eps = 0.0;
+  /// kMarginalGain: the per-merge Δ-error threshold relative to Emax.
+  double marginal_gain = 0.0;
+  /// kHoldout: scores one materialized candidate cut; smaller is better.
+  /// Called once per candidate, in ascending size order. A failure
+  /// aborts Advise with the callback's status.
+  std::function<Result<double>(const Reduction&)> holdout;
+  /// kHoldout candidate sizes; empty means a deterministic geometric
+  /// ladder cmin, 2*cmin, 4*cmin, ..., n.
+  std::vector<size_t> holdout_candidates;
+  /// Also fill Advice::group_budgets (water-filling under group_cap).
+  bool per_group = false;
+  /// Total size cap of the per-group allocation; 0 means "use the global
+  /// recommendation as the cap". Clamped to [cmin, n].
+  size_t group_cap = 0;
+
+  static AdvisorOptions TargetRelativeError(double eps);
+  static AdvisorOptions Knee();
+  static AdvisorOptions MarginalGain(double threshold);
+  static AdvisorOptions Holdout(
+      std::function<Result<double>(const Reduction&)> evaluate,
+      std::vector<size_t> candidates = {});
+};
+
+/// \brief One group's share of a per-group recommendation.
+struct GroupBudget {
+  int32_t group = 0;
+  /// Segments allocated to the group (>= the group's own cmin).
+  size_t budget = 0;
+  /// The group curve's SSE at that budget.
+  double sse = 0.0;
+};
+
+/// \brief The recommendation.
+struct Advice {
+  Criterion criterion = Criterion::kKnee;
+  /// Recommended global size budget (0 only for an empty index).
+  size_t budget = 0;
+  /// Curve SSE at that budget — the recorded double, not recomputed.
+  double sse = 0.0;
+  /// sse / Emax; 0 when Emax == 0.
+  double relative_error = 0.0;
+  /// Per-group allocation (AdvisorOptions::per_group only); budgets sum
+  /// to the clamped cap.
+  std::vector<GroupBudget> group_budgets;
+  /// Sum of the per-group SSEs under that allocation.
+  double group_total_sse = 0.0;
+};
+
+/// Runs the chosen criterion on the index's recorded curve.
+Result<Advice> Advise(const PtaIndex& index, const AdvisorOptions& options);
+
+/// The per-group allocator behind Advise, exposed for tests and the
+/// bench: distributes `total` segments (clamped to [cmin, n]) over the
+/// groups' error curves and returns the allocation by group id.
+Result<std::vector<GroupBudget>> AllocateGroupBudgets(const PtaIndex& index,
+                                                      size_t total);
+
+}  // namespace advisor
+}  // namespace pta
+
+#endif  // PTA_ADVISOR_ADVISOR_H_

@@ -1,0 +1,128 @@
+#include "advisor/error_curve.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pta {
+namespace advisor {
+
+ErrorCurve ErrorCurve::FromIndex(const PtaIndex& index) {
+  ErrorCurve curve;
+  curve.group_ = -1;
+  curve.finest_ = index.input_size();
+  curve.scale_ = index.max_error();
+  // The knots ARE the recorded cumulative errors; copying them (instead
+  // of re-accumulating deltas) is what makes ErrorAt/SizeFor bitwise
+  // identical to ErrorForSize/SizeForError.
+  curve.sse_ = index.cumulative_errors();
+  curve.steps_.resize(curve.sse_.size());
+  for (size_t m = 0; m < curve.steps_.size(); ++m) curve.steps_[m] = m;
+  return curve;
+}
+
+Result<ErrorCurve> ErrorCurve::ForGroup(const PtaIndex& index,
+                                        int32_t group) {
+  const SequentialRelation& input = index.input();
+  size_t leaves = 0;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (input.group(i) == group) ++leaves;
+  }
+  if (leaves == 0) {
+    return Status::InvalidArgument("group " + std::to_string(group) +
+                                   " has no segments in the index");
+  }
+  ErrorCurve curve;
+  curve.group_ = group;
+  curve.finest_ = leaves;
+  curve.sse_.push_back(0.0);
+  curve.steps_.push_back(0);
+  const auto& nodes = index.merge_nodes();
+  const auto& deltas = index.merge_deltas();
+  double running = 0.0;
+  for (size_t j = 0; j < nodes.size(); ++j) {
+    if (nodes[j].group != group) continue;
+    running += deltas[j];
+    curve.sse_.push_back(running);
+    curve.steps_.push_back(j + 1);
+  }
+  curve.scale_ = curve.sse_.back();
+  return curve;
+}
+
+std::vector<ErrorCurve> ErrorCurve::PerGroup(const PtaIndex& index) {
+  const SequentialRelation& input = index.input();
+  std::vector<int32_t> groups;
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (groups.empty() || groups.back() != input.group(i)) {
+      groups.push_back(input.group(i));
+    }
+  }
+  std::sort(groups.begin(), groups.end());
+  groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+  std::vector<ErrorCurve> curves;
+  curves.reserve(groups.size());
+  for (const int32_t g : groups) {
+    auto curve = ForGroup(index, g);
+    if (curve.ok()) curves.push_back(std::move(*curve));
+  }
+  return curves;
+}
+
+Result<double> ErrorCurve::ErrorAt(size_t c) const {
+  if (c == 0) {
+    return Status::InvalidArgument("size bound c must be positive");
+  }
+  if (sse_.empty() || c > finest_ || c < coarsest_size()) {
+    return Status::InvalidArgument(
+        "size " + std::to_string(c) + " is outside the curve [" +
+        std::to_string(coarsest_size()) + ", " + std::to_string(finest_) +
+        "]");
+  }
+  return sse_[finest_ - c];
+}
+
+Result<size_t> ErrorCurve::SizeFor(double eps) const {
+  if (eps < 0.0 || eps > 1.0) {
+    return Status::InvalidArgument("error bound eps must be in [0, 1]");
+  }
+  if (sse_.empty()) {
+    return Status::InvalidArgument("SizeFor on an empty curve");
+  }
+  // The CutToError selection: the largest knot m with sse[m] <= budget
+  // (upper_bound over a monotone curve), i.e. the minimal size meeting
+  // the bound. Identical arithmetic to PtaIndex::SizeForError.
+  const double budget = eps * scale_;
+  const auto it = std::upper_bound(sse_.begin(), sse_.end(), budget);
+  const size_t m = static_cast<size_t>(it - sse_.begin()) - 1;
+  return finest_ - m;
+}
+
+Result<double> ErrorCurve::MarginalAt(size_t c) const {
+  auto coarse = ErrorAt(c);
+  if (!coarse.ok()) return coarse.status();
+  auto fine = ErrorAt(c + 1);
+  if (!fine.ok()) return fine.status();
+  return *coarse - *fine;
+}
+
+std::vector<CurvePoint> ErrorCurve::Points() const {
+  std::vector<CurvePoint> points;
+  points.reserve(sse_.size());
+  for (size_t m = 0; m < sse_.size(); ++m) {
+    points.push_back({finest_ - m, sse_[m]});
+  }
+  return points;
+}
+
+std::string ErrorCurve::ToCsv() const {
+  std::string out = "size,sse\n";
+  char buf[64];
+  for (size_t m = 0; m < sse_.size(); ++m) {
+    std::snprintf(buf, sizeof(buf), "%zu,%.17g\n", finest_ - m, sse_[m]);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace advisor
+}  // namespace pta

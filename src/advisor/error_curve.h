@@ -1,0 +1,113 @@
+// ErrorCurve — the size -> SSE tradeoff of one recorded GMS run as a
+// first-class queryable object.
+//
+// A PtaIndex already materializes the whole curve: after m merges the
+// output has n - m segments and cumulative SSE cum[m]. ErrorCurve wraps
+// that sequence — globally, or filtered to one aggregation group via the
+// recorded per-merge group tags — without materializing any cut: every
+// query is an O(1) lookup or a binary search over the knots.
+//
+// Semantics:
+//   * knots run from the finest size (n segments, SSE 0) to the coarsest
+//     (cmin segments), one knot per merge step;
+//   * ErrorAt(c) is the SSE of the cut at size c — for the global curve
+//     the very doubles PtaIndex::ErrorForSize(c) returns (no
+//     re-accumulation, so the values are bitwise identical);
+//   * SizeFor(eps) is the minimal size whose SSE is <= eps * scale().
+//     The global curve's scale is the index's Emax, and its knots are the
+//     index's cumulative errors, so SizeFor makes exactly the selection
+//     PtaIndex::CutToError(eps) makes.
+//
+// Per-group curves re-accumulate the group's own Δ-errors in global merge
+// order; their scale is the group's SSE at its coarsest size. They feed
+// the advisor's water-filling allocation (advisor/advisor.h).
+
+#ifndef PTA_ADVISOR_ERROR_CURVE_H_
+#define PTA_ADVISOR_ERROR_CURVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pta/index.h"
+#include "util/status.h"
+
+namespace pta {
+namespace advisor {
+
+/// \brief One knot of the curve: the cut at `size` segments has SSE `sse`.
+struct CurvePoint {
+  size_t size = 0;
+  double sse = 0.0;
+};
+
+/// \brief Monotone size -> SSE curve of an index (or one of its groups).
+class ErrorCurve {
+ public:
+  /// An empty curve (no knots); real curves come from FromIndex/ForGroup.
+  ErrorCurve() = default;
+
+  /// The whole index's curve: sizes n .. cmin, SSE the recorded
+  /// cumulative errors (copied bitwise), scale() == index.max_error().
+  static ErrorCurve FromIndex(const PtaIndex& index);
+
+  /// The curve of dense group id `group`: its knots follow the group's
+  /// recorded merges in global merge order; SSE is re-accumulated over
+  /// that group's Δ-errors alone. Fails on a group id without leaves.
+  static Result<ErrorCurve> ForGroup(const PtaIndex& index, int32_t group);
+
+  /// Curves of every group that has at least one leaf, by group id.
+  static std::vector<ErrorCurve> PerGroup(const PtaIndex& index);
+
+  /// Dense group id this curve describes; -1 for the global curve.
+  int32_t group() const { return group_; }
+  /// Number of knots (merge steps covered + 1); 0 only when empty.
+  size_t num_knots() const { return sse_.size(); }
+  /// The finest size (knot 0): the input size (group leaf count).
+  size_t finest_size() const { return finest_; }
+  /// The coarsest reachable size (the last knot).
+  size_t coarsest_size() const {
+    return sse_.empty() ? 0 : finest_ - (sse_.size() - 1);
+  }
+  /// The eps denominator of SizeFor: Emax for the global curve, the SSE
+  /// at the coarsest size for a group curve.
+  double scale() const { return scale_; }
+
+  /// SSE of the cut at size c; InvalidArgument outside
+  /// [coarsest_size(), finest_size()] or for c == 0.
+  Result<double> ErrorAt(size_t c) const;
+
+  /// The minimal size whose SSE is <= eps * scale(); eps in [0, 1].
+  /// On the global curve this is PtaIndex::SizeForError(eps) verbatim.
+  Result<size_t> SizeFor(double eps) const;
+
+  /// The Δ-error of the merge that takes the curve from size c + 1 to
+  /// size c — the marginal cost of one more unit of coarsening.
+  Result<double> MarginalAt(size_t c) const;
+
+  /// The raw knots, finest first: {(finest, 0.0), ..., (coarsest, sse)}.
+  std::vector<CurvePoint> Points() const;
+
+  /// The SSE column alone (knot m = SSE after this curve's m-th merge).
+  const std::vector<double>& sse() const { return sse_; }
+
+  /// Global (1-based) merge step behind knot m >= 1; steps()[0] == 0 is
+  /// the finest knot's placeholder. The water-filling bookkeeping.
+  const std::vector<size_t>& steps() const { return steps_; }
+
+  /// "size,sse\n" CSV export of the knots, finest first.
+  std::string ToCsv() const;
+
+ private:
+  int32_t group_ = -1;
+  size_t finest_ = 0;
+  double scale_ = 0.0;
+  std::vector<double> sse_;
+  std::vector<size_t> steps_;
+};
+
+}  // namespace advisor
+}  // namespace pta
+
+#endif  // PTA_ADVISOR_ERROR_CURVE_H_

@@ -528,7 +528,21 @@ Result<Reduction> PtaIndex::CutToSize(size_t c) const {
   return EmitCut(m);
 }
 
-Result<Reduction> PtaIndex::CutToError(double eps) const {
+Result<double> PtaIndex::ErrorForSize(size_t c) const {
+  if (c == 0) {
+    return Status::InvalidArgument("size bound c must be positive");
+  }
+  const size_t n = input_.size();
+  const size_t m = c >= n ? 0 : n - c;
+  if (m > merges()) {
+    return Status::InvalidArgument(
+        "size bound " + std::to_string(c) + " is below cmin = " +
+        std::to_string(cmin()));
+  }
+  return cum_[m];
+}
+
+Result<size_t> PtaIndex::SizeForError(double eps) const {
   if (eps < 0.0 || eps > 1.0) {
     return Status::InvalidArgument("error bound eps must be in [0, 1]");
   }
@@ -538,7 +552,13 @@ Result<Reduction> PtaIndex::CutToError(double eps) const {
   const double budget = eps * max_error();
   const auto it = std::upper_bound(cum_.begin(), cum_.end(), budget);
   const size_t m = static_cast<size_t>(it - cum_.begin()) - 1;
-  return EmitCut(m);
+  return input_.size() - m;
+}
+
+Result<Reduction> PtaIndex::CutToError(double eps) const {
+  auto size = SizeForError(eps);
+  if (!size.ok()) return size.status();
+  return EmitCut(input_.size() - *size);
 }
 
 Result<std::vector<Reduction>> PtaIndex::MultiBudgetCut(
@@ -551,8 +571,13 @@ Result<std::vector<Reduction>> PtaIndex::MultiBudgetCut(
       return Status::InvalidArgument("size bound c must be positive");
     }
     if (i > 0 && sizes[i] <= sizes[i - 1]) {
+      const std::string tail =
+          sizes[i] == sizes[i - 1]
+              ? std::to_string(sizes[i]) + " twice"
+              : std::to_string(sizes[i]) + " after " +
+                    std::to_string(sizes[i - 1]);
       return Status::InvalidArgument(
-          "MultiBudgetCut needs strictly ascending budgets");
+          "MultiBudgetCut needs strictly ascending budgets; got " + tail);
     }
   }
   if (n > sizes[0] && n - sizes[0] > merges()) {

@@ -166,6 +166,18 @@ class PtaIndex {
   /// c == 0 or c < cmin, matching the reducer's contract.
   Result<Reduction> CutToSize(size_t c) const;
 
+  /// The SSE of the cut CutToSize(c) would emit — a curve lookup on the
+  /// recorded cumulative errors, no Reduction materialized. Same domain
+  /// and failures as CutToSize (c == 0 and c < cmin are InvalidArgument).
+  Result<double> ErrorForSize(size_t c) const;
+
+  /// The output size CutToError(eps) would select: the minimal c whose
+  /// curve error is <= eps * max_error(), again without materializing the
+  /// cut. Requires eps in [0, 1]. CutToError and the granularity
+  /// advisor's target-relative-error criterion both delegate here, so the
+  /// two surfaces can never drift apart.
+  Result<size_t> SizeForError(double eps) const;
+
   /// The maximal reduction with SSE <= eps * Emax: byte-identical to
   /// GmsReduceToError(input, eps). Requires eps in [0, 1].
   Result<Reduction> CutToError(double eps) const;

@@ -42,6 +42,11 @@ namespace pta {
 
 class StreamingQuery;  // pta/stream_api.h (pta_stream library)
 
+namespace advisor {  // advisor/advisor.h (pta_advisor library)
+struct Advice;
+struct AdvisorOptions;
+}  // namespace advisor
+
 /// \brief Fluent builder for PTA queries.
 ///
 /// Setters return *this, so a query reads as one chained expression; the
@@ -121,8 +126,24 @@ class PtaQuery {
   /// source (an engine never ingests a pre-bound input) and a size budget.
   Result<StreamingQuery> Start() const;
 
+  /// Lets the granularity advisor pick the budget: plans the query,
+  /// obtains (or builds) its PtaIndex through the plan cache, runs
+  /// advisor::Advise, and returns a copy of this query re-budgeted via
+  /// WithBudget — so running the copy is the indexed fast path on the
+  /// index the advisor just consulted. `advice` (optional) receives the
+  /// full recommendation. Declared here, defined in the pta_advisor
+  /// library — include advisor/advisor.h and link pta_advisor to use it.
+  /// Requires a bound relation input (not a Stream source).
+  Result<PtaQuery> BudgetAuto(const advisor::AdvisorOptions& options,
+                              advisor::Advice* advice = nullptr) const;
+
  private:
   PtaQuery() = default;
+  // Result<T> default-constructs its payload on the error path; keeping
+  // the default constructor private otherwise preserves the "queries start
+  // from Over/OverSequential/Stream" invariant for everyone else.
+  template <typename T>
+  friend class Result;
 
   const TemporalRelation* relation_ = nullptr;
   const SequentialRelation* sequential_ = nullptr;

@@ -119,6 +119,16 @@ std::string Query::ToString() const {
       out += " BUDGET ERROR " + eps.ToString();
       break;
     }
+    case BudgetClause::Kind::kAutoKnee:
+      out += " BUDGET AUTO KNEE";
+      break;
+    case BudgetClause::Kind::kAutoError: {
+      Literal eps;
+      eps.kind = Literal::Kind::kDouble;
+      eps.double_value = budget.eps;
+      out += " BUDGET AUTO ERROR <= " + eps.ToString();
+      break;
+    }
   }
   if (engine.present) {
     out += std::string(" USING ENGINE ") + EngineName(engine.engine);
@@ -184,6 +194,11 @@ bool Equals(const Query& a, const Query& b) {
       if (a.budget.size != b.budget.size) return false;
       break;
     case BudgetClause::Kind::kError:
+      if (a.budget.eps != b.budget.eps) return false;
+      break;
+    case BudgetClause::Kind::kAutoKnee:
+      break;
+    case BudgetClause::Kind::kAutoError:
       if (a.budget.eps != b.budget.eps) return false;
       break;
   }

@@ -105,10 +105,14 @@ struct TimeWindow {
   Location loc;
 };
 
-/// \brief BUDGET SIZE c | BUDGET ERROR eps; kNone when the clause is
-/// absent (rejected at lowering — PTA always needs a budget).
+/// \brief BUDGET SIZE c | BUDGET ERROR eps | BUDGET AUTO [KNEE |
+/// ERROR <= eps]; kNone when the clause is absent (rejected at lowering —
+/// PTA always needs a budget). The AUTO kinds defer the size choice to
+/// the granularity advisor at execution time: kAutoKnee picks the knee of
+/// the error curve, kAutoError the minimal size within relative error
+/// `eps` (a bare BUDGET AUTO parses as kAutoKnee).
 struct BudgetClause {
-  enum class Kind { kNone = 0, kSize, kError };
+  enum class Kind { kNone = 0, kSize, kError, kAutoKnee, kAutoError };
   Kind kind = Kind::kNone;
   size_t size = 0;
   double eps = 0.0;

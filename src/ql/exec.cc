@@ -1,8 +1,10 @@
 #include "ql/exec.h"
 
+#include <algorithm>
 #include <set>
 #include <utility>
 
+#include "advisor/advisor.h"
 #include "core/ita.h"
 #include "pta/stream_api.h"
 #include "ql/lexer.h"
@@ -199,12 +201,10 @@ Result<SequentialRelation> RunStreaming(const Query& query,
 }
 
 Result<SequentialRelation> RunBatch(const Query& query, pta::Engine engine,
+                                    pta::Budget budget,
                                     const SequentialRelation& ita,
                                     const ExecOptions& options,
                                     ExecStats* stats) {
-  pta::Budget budget = query.budget.kind == BudgetClause::Kind::kSize
-                           ? pta::Budget::Size(query.budget.size)
-                           : pta::Budget::RelativeError(query.budget.eps);
   PtaQuery pq = PtaQuery::OverSequential(ita).Budget(budget).Engine(engine);
   GreedyPtaOptions greedy;
   if (options.pin_identity) {
@@ -234,6 +234,28 @@ Result<SequentialRelation> RunBatch(const Query& query, pta::Engine engine,
   stats->engine = run_stats.engine;
   stats->error = result->error;
   return std::move(result->relation);
+}
+
+// BUDGET AUTO: one advisor pass over the shared ITA result decides the
+// size for every engine — the resolution depends only on the query text
+// and the catalog, like everything else in PTA-QL. The probe plan's
+// fingerprint is budget-stripped, so the index built here is the same
+// cache entry a kIndexed run of this query reuses; Execute invalidates it
+// once the query is done (the ITA relation dies with the call).
+Result<size_t> ResolveAutoBudget(const Query& query,
+                                 const SequentialRelation& ita) {
+  PtaQuery probe = PtaQuery::OverSequential(ita).Budget(pta::Budget::Size(1));
+  auto plan = probe.Plan();
+  PTA_RETURN_IF_ERROR(plan.status());
+  auto index = internal::IndexCacheGetOrBuild(*plan, nullptr);
+  PTA_RETURN_IF_ERROR(index.status());
+  const advisor::AdvisorOptions advisor_options =
+      query.budget.kind == BudgetClause::Kind::kAutoError
+          ? advisor::AdvisorOptions::TargetRelativeError(query.budget.eps)
+          : advisor::AdvisorOptions::Knee();
+  auto advice = advisor::Advise(**index, advisor_options);
+  PTA_RETURN_IF_ERROR(advice.status());
+  return std::max<size_t>(1, advice->budget);
 }
 
 }  // namespace
@@ -283,7 +305,8 @@ Result<ExecResult> Execute(const Query& query, const Catalog& catalog,
   }
   if (query.budget.kind == BudgetClause::Kind::kNone) {
     return ErrorAt(
-        "query needs a BUDGET clause (BUDGET SIZE c or BUDGET ERROR eps)",
+        "query needs a BUDGET clause (BUDGET SIZE c, BUDGET ERROR eps, or "
+        "BUDGET AUTO)",
         query.end_loc);
   }
 
@@ -332,9 +355,39 @@ Result<ExecResult> Execute(const Query& query, const Catalog& catalog,
     out.stats.engine =
         engine == pta::Engine::kAuto ? pta::Engine::kExactDp : engine;
   } else {
-    auto reduced = engine == pta::Engine::kStreaming
-                       ? RunStreaming(query, *ita, options, &out.stats)
-                       : RunBatch(query, engine, *ita, options, &out.stats);
+    pta::Budget budget = pta::Budget::Size(1);
+    bool advised = false;
+    switch (query.budget.kind) {
+      case BudgetClause::Kind::kSize:
+        budget = pta::Budget::Size(query.budget.size);
+        break;
+      case BudgetClause::Kind::kError:
+        budget = pta::Budget::RelativeError(query.budget.eps);
+        break;
+      default: {  // kAutoKnee / kAutoError (kNone was rejected above)
+        auto resolved = ResolveAutoBudget(query, *ita);
+        if (!resolved.ok()) {
+          if (resolved.status().code() == StatusCode::kInvalidArgument) {
+            return ErrorAt(resolved.status().message(), query.budget.loc);
+          }
+          return resolved.status();
+        }
+        budget = pta::Budget::Size(*resolved);
+        out.stats.advised_budget = *resolved;
+        advised = true;
+        break;
+      }
+    }
+    auto reduced =
+        engine == pta::Engine::kStreaming
+            ? RunStreaming(query, *ita, options, &out.stats)
+            : RunBatch(query, engine, budget, *ita, options, &out.stats);
+    if (advised) {
+      // The advisor cached an index under the executor-local ITA's
+      // address; drop it before the relation dies (RunBatch only does so
+      // for its own kIndexed runs).
+      PtaIndexCacheInvalidate(&*ita);
+    }
     if (!reduced.ok()) {
       // Engine-level usage errors (e.g. "size bound c is below cmin") are
       // data-dependent and only surface at run time; anchor them at the

@@ -85,6 +85,10 @@ struct ExecStats {
   size_t rows = 0;
   /// Total SSE introduced by the reduction.
   double error = 0.0;
+  /// The size a BUDGET AUTO clause resolved to (0 for explicit budgets).
+  /// Resolved once against the shared ITA result, before any engine runs,
+  /// so it is engine-independent.
+  size_t advised_budget = 0;
 };
 
 /// \brief A query's outcome: the raw reduced relation plus a displayable

@@ -366,7 +366,41 @@ class Parser {
       Advance();
       return Status::Ok();
     }
-    return Fail("expected SIZE or ERROR after BUDGET, got " + Describe(Cur()));
+    if (AtKeyword("AUTO")) {
+      Advance();
+      if (AtKeyword("ERROR")) {
+        Advance();
+        if (Cur().kind != TokenKind::kLe) {
+          return Fail("expected '<=' after BUDGET AUTO ERROR, got " +
+                      Describe(Cur()));
+        }
+        Advance();
+        double eps = 0.0;
+        if (Cur().kind == TokenKind::kInt) {
+          eps = static_cast<double>(Cur().int_value);
+        } else if (Cur().kind == TokenKind::kDouble) {
+          eps = Cur().double_value;
+        } else {
+          return Fail("BUDGET AUTO ERROR takes a number in [0, 1], got " +
+                      Describe(Cur()));
+        }
+        if (!(eps >= 0.0 && eps <= 1.0)) {
+          return Fail("BUDGET AUTO ERROR must be in [0, 1], got " +
+                      Cur().text);
+        }
+        q->budget.kind = BudgetClause::Kind::kAutoError;
+        q->budget.eps = eps;
+        Advance();
+        return Status::Ok();
+      }
+      // The knee criterion is the default: a bare BUDGET AUTO and
+      // BUDGET AUTO KNEE parse identically.
+      if (AtKeyword("KNEE")) Advance();
+      q->budget.kind = BudgetClause::Kind::kAutoKnee;
+      return Status::Ok();
+    }
+    return Fail("expected SIZE, ERROR, or AUTO after BUDGET, got " +
+                Describe(Cur()));
   }
 
   Status ParseEngine(Query* q) {

@@ -13,7 +13,8 @@
 //   query      = "SELECT" select-list "FROM" identifier
 //                [ "WHERE" or-expr ] [ "GROUP" "BY" column-list ]
 //                [ "WITH" "TIME" "(" int "," int ")" ]
-//                [ "BUDGET" ( "SIZE" int | "ERROR" number ) ]
+//                [ "BUDGET" ( "SIZE" int | "ERROR" number
+//                            | "AUTO" [ "KNEE" | "ERROR" "<=" number ] ) ]
 //                [ "USING" "ENGINE" engine-name ] [ ";" ] end ;
 //   select-list= select-item { "," select-item } ;
 //   select-item= ( "AVG" | "SUM" | "MIN" | "MAX" ) "(" identifier ")"

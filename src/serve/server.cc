@@ -92,6 +92,20 @@ Result<std::vector<Reduction>> PtaSession::ZoomLadder(
   return (*index)->MultiBudgetCut(sizes);
 }
 
+Result<advisor::Advice> PtaSession::Advise(
+    const advisor::AdvisorOptions& options) const {
+  if (dataset_ == nullptr) {
+    return Status::FailedPrecondition(
+        "empty session; obtain sessions from PtaServer::OpenSession");
+  }
+  std::shared_lock<std::shared_mutex> lock(dataset_->mu);
+  auto plan = MakeQuery().Budget(Budget::Size(1)).Plan();
+  if (!plan.ok()) return plan.status();
+  auto index = internal::IndexCacheGetOrBuild(*plan, nullptr);
+  if (!index.ok()) return index.status();
+  return advisor::Advise(**index, options);
+}
+
 // ---- PtaServer ----------------------------------------------------------
 
 PtaServer::PtaServer(ServeOptions options)

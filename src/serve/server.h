@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "advisor/advisor.h"
 #include "core/ita.h"
 #include "core/relation.h"
 #include "pta/error.h"
@@ -125,6 +126,14 @@ class PtaSession {
   /// in one coarse-to-fine walk of the shared index (MultiBudgetCut).
   Result<std::vector<Reduction>> ZoomLadder(
       const std::vector<size_t>& sizes) const;
+
+  /// Runs the granularity advisor (advisor/advisor.h) against the
+  /// session's shared index: builds — or fetches — the cached PtaIndex
+  /// under the dataset's shared lock, then walks its recorded error curve.
+  /// Like Cut, the first call per dataset generation pays the build; every
+  /// further recommendation is O(k log k). Holdout criteria materialize
+  /// candidate cuts, so their callback runs under the shared lock too.
+  Result<advisor::Advice> Advise(const advisor::AdvisorOptions& options) const;
 
   /// The served dataset's registry name; empty for an empty session.
   const std::string& dataset() const;

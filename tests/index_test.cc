@@ -164,13 +164,25 @@ TEST(PtaIndexTest, MultiBudgetCutValidatesItsLadder) {
   const SequentialRelation rel = RandomSequential(30, 1, 2, 0.2, 41);
   const PtaIndex index = BuildOrDie(rel);
   EXPECT_TRUE(index.MultiBudgetCut({}).ok());
+  // Unsorted and duplicate ladders produce structured diagnostics naming
+  // the offending budgets, not just a generic rejection.
   auto unsorted = index.MultiBudgetCut({20, 10});
   ASSERT_FALSE(unsorted.ok());
   EXPECT_EQ(unsorted.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(unsorted.status().message().find("strictly ascending"),
+            std::string::npos)
+      << unsorted.status().message();
+  EXPECT_NE(unsorted.status().message().find("10 after 20"),
+            std::string::npos)
+      << unsorted.status().message();
   auto dup = index.MultiBudgetCut({10, 10});
   ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(dup.status().message().find("10 twice"), std::string::npos)
+      << dup.status().message();
   auto zero = index.MultiBudgetCut({0, 10});
   ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
   if (index.cmin() > 1) {
     auto below = index.MultiBudgetCut({index.cmin() - 1, index.cmin()});
     ASSERT_FALSE(below.ok());
@@ -214,6 +226,88 @@ TEST(PtaIndexTest, CumulativeCurveIsMonotoneAndComplete) {
   auto at_cmin = GmsReduceToSize(rel, rel.CMin());
   ASSERT_TRUE(at_cmin.ok());
   EXPECT_EQ(index.cumulative_error(index.merges()), at_cmin->error);
+}
+
+// ---- the error-curve accessors (ErrorForSize / SizeForError) -----------
+
+TEST(PtaIndexTest, ErrorForSizeReadsTheRecordedCurveKnots) {
+  const SequentialRelation rel = RandomSequential(90, 2, 3, 0.2, 73);
+  const PtaIndex index = BuildOrDie(rel);
+  // Every feasible size reads the cumulative curve at n - c, bitwise.
+  for (size_t c = index.cmin(); c <= rel.size(); ++c) {
+    auto err = index.ErrorForSize(c);
+    ASSERT_TRUE(err.ok()) << "c=" << c;
+    EXPECT_EQ(*err, index.cumulative_error(rel.size() - c)) << "c=" << c;
+    // And it must agree with the error of the materialized cut.
+    auto cut = index.CutToSize(c);
+    ASSERT_TRUE(cut.ok());
+    EXPECT_EQ(*err, cut->error) << "c=" << c;
+  }
+  // Oversized budgets are the identity cut: zero error.
+  auto identity = index.ErrorForSize(rel.size() + 7);
+  ASSERT_TRUE(identity.ok());
+  EXPECT_EQ(*identity, 0.0);
+  // c = 0 and c < cmin are rejected like CutToSize.
+  EXPECT_FALSE(index.ErrorForSize(0).ok());
+  if (index.cmin() > 1) {
+    auto below = index.ErrorForSize(index.cmin() - 1);
+    ASSERT_FALSE(below.ok());
+    EXPECT_EQ(below.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(PtaIndexTest, SizeForErrorMatchesCutToErrorSelection) {
+  const SequentialRelation rel = RandomSequential(110, 2, 4, 0.15, 79);
+  const PtaIndex index = BuildOrDie(rel);
+
+  // Boundaries: eps = 0 keeps every segment the curve can keep; eps = 1
+  // admits an error budget of Emax — like CutToError(1.0), that lands on
+  // the coarsest knot whose SSE fits (Emax is the upper-bound estimate,
+  // not bitwise the curve's endpoint, so this can sit just above cmin).
+  auto finest = index.SizeForError(0.0);
+  ASSERT_TRUE(finest.ok());
+  auto coarsest = index.SizeForError(1.0);
+  ASSERT_TRUE(coarsest.ok());
+  EXPECT_GE(*coarsest, index.cmin());
+  EXPECT_GE(*finest, *coarsest);
+  auto coarsest_cut = index.CutToError(1.0);
+  ASSERT_TRUE(coarsest_cut.ok());
+  EXPECT_EQ(*coarsest, coarsest_cut->relation.size());
+
+  // On every curve knot and a dense grid between them, the selected size
+  // must be exactly the row count CutToError materializes — the two share
+  // one binary search, so drift here is a refactoring bug.
+  std::vector<double> grid = {0.0, 1e-9, 0.001, 0.01, 0.05, 0.1,  0.2,
+                              0.3, 0.5,  0.7,   0.9,  0.99, 0.999, 1.0};
+  const double emax = index.max_error();
+  if (emax > 0) {
+    for (size_t m = 1; m <= index.merges(); m += 3) {
+      grid.push_back(index.cumulative_error(m) / emax);  // exact knots
+    }
+  }
+  for (const double eps : grid) {
+    if (eps < 0.0 || eps > 1.0) continue;
+    auto size = index.SizeForError(eps);
+    auto cut = index.CutToError(eps);
+    ASSERT_TRUE(size.ok()) << "eps=" << eps;
+    ASSERT_TRUE(cut.ok()) << "eps=" << eps;
+    EXPECT_EQ(*size, cut->relation.size()) << "eps=" << eps;
+    // The reported curve error at that size is the cut's accumulated
+    // error, bitwise.
+    auto err = index.ErrorForSize(*size);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(*err, cut->error) << "eps=" << eps;
+  }
+
+  // Out-of-range eps is rejected without touching the curve.
+  EXPECT_FALSE(index.SizeForError(-0.25).ok());
+  EXPECT_FALSE(index.SizeForError(1.25).ok());
+
+  // Empty input: the accessors mirror the degenerate cut contract.
+  const PtaIndex empty = BuildOrDie(SequentialRelation(1));
+  auto empty_size = empty.SizeForError(0.5);
+  ASSERT_TRUE(empty_size.ok());
+  EXPECT_EQ(*empty_size, 0u);
 }
 
 // ---- boundaries, matching the reducers' contracts ----------------------

@@ -118,7 +118,8 @@ TEST_P(QlFixtureTest, Golden) {
   // A golden fixture must not record stats keys the harness never checks.
   for (const auto& [key, value] : fixture.stats) {
     EXPECT_TRUE(key == "engine" || key == "input" || key == "filtered" ||
-                key == "ita" || key == "rows" || key == "sse")
+                key == "ita" || key == "rows" || key == "sse" ||
+                key == "advised")
         << "unknown stats key '" << key << "'";
   }
 }
@@ -167,7 +168,7 @@ INSTANTIATE_TEST_SUITE_P(Fixtures, QlFixtureTest,
 // missing or empty — a silently green suite that ran nothing is the worst
 // outcome for a golden harness.
 TEST(QlFixtureDiscovery, FindsFixtures) {
-  EXPECT_GE(DiscoveredFixtures().size(), 25u)
+  EXPECT_GE(DiscoveredFixtures().size(), 29u)
       << "fixture directory " << g_fixture_dir
       << " is missing or underpopulated";
 }

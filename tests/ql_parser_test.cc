@@ -181,7 +181,11 @@ INSTANTIATE_TEST_SUITE_P(
         DiagnosticCase{"SELECT AVG(x) FROM r WITH TIME(1 8)", "expected ','",
                        1, 34},
         DiagnosticCase{"SELECT AVG(x) FROM r BUDGET WEIGHT 3",
-                       "expected SIZE or ERROR", 1, 29},
+                       "expected SIZE, ERROR, or AUTO", 1, 29},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET AUTO ERROR 0.1",
+                       "expected '<=' after BUDGET AUTO ERROR", 1, 40},
+        DiagnosticCase{"SELECT AVG(x) FROM r BUDGET AUTO ERROR <= 1.5",
+                       "BUDGET AUTO ERROR must be in [0, 1]", 1, 43},
         DiagnosticCase{"SELECT AVG(x) FROM r BUDGET SIZE 0",
                        "BUDGET SIZE takes a positive integer", 1, 34},
         DiagnosticCase{"SELECT AVG(x) FROM r BUDGET SIZE -3",
@@ -200,6 +204,27 @@ INSTANTIATE_TEST_SUITE_P(
                        "unterminated string literal", 1, 32},
         DiagnosticCase{"SELECT AVG(x),, AVG(y) FROM r",
                        "expected an aggregate function", 1, 15}));
+
+TEST(QlParser, BudgetAutoForms) {
+  // Bare AUTO and AUTO KNEE parse identically (knee is the default).
+  for (const char* text : {"SELECT AVG(x) FROM r BUDGET AUTO",
+                           "SELECT AVG(x) FROM r BUDGET AUTO KNEE",
+                           "select avg(x) from r budget auto knee"}) {
+    auto query = ParseQuery(text);
+    ASSERT_TRUE(query.ok()) << text << ": " << query.status().ToString();
+    EXPECT_EQ(BudgetClause::Kind::kAutoKnee, query->budget.kind) << text;
+  }
+  auto query =
+      ParseQuery("SELECT AVG(x) FROM r BUDGET AUTO ERROR <= 0.05");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(BudgetClause::Kind::kAutoError, query->budget.kind);
+  EXPECT_EQ(0.05, query->budget.eps);
+  // Integer bounds work too (AUTO ERROR <= 1 caps at the whole curve).
+  query = ParseQuery("SELECT AVG(x) FROM r BUDGET AUTO ERROR <= 1");
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(BudgetClause::Kind::kAutoError, query->budget.kind);
+  EXPECT_EQ(1.0, query->budget.eps);
+}
 
 TEST(QlParser, DiagnosticCarriesOffendingToken) {
   ParseDiagnostic diag;

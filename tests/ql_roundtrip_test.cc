@@ -72,6 +72,10 @@ TEST(QlRoundTrip, CornerCases) {
       "SELECT AVG(a) FROM r BUDGET ERROR 1.0 USING ENGINE exact",
       "SELECT COUNT(*) AS n FROM r WITH TIME(0, 0) BUDGET SIZE 1 "
       "USING ENGINE streaming",
+      // Advisor budgets: bare AUTO canonicalizes to AUTO KNEE.
+      "SELECT AVG(a) FROM r BUDGET AUTO",
+      "select avg(a) from r budget auto knee",
+      "SELECT AVG(a) FROM r BUDGET AUTO ERROR <= 0.0625 USING ENGINE indexed",
   };
   for (const char* text : queries) ExpectRoundTrips(text);
 }
@@ -96,6 +100,8 @@ TEST(QlRoundTrip, EqualsDistinguishesStructure) {
       "SELECT AVG(x) FROM r WITH TIME(0, 9) BUDGET SIZE 2",
       "SELECT AVG(x) FROM r BUDGET SIZE 3",
       "SELECT AVG(x) FROM r BUDGET ERROR 0.5",
+      "SELECT AVG(x) FROM r BUDGET AUTO",
+      "SELECT AVG(x) FROM r BUDGET AUTO ERROR <= 0.5",
       "SELECT AVG(x) FROM r BUDGET SIZE 2 USING ENGINE greedy",
   };
   for (const char* text : different) {

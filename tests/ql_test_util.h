@@ -22,7 +22,8 @@
 //   -- query
 //   SELECT AVG(Sal) FROM proj
 //   -- error
-//   query needs a BUDGET clause (BUDGET SIZE c or BUDGET ERROR eps) at 1:26
+//   query needs a BUDGET clause (BUDGET SIZE c, BUDGET ERROR eps, or
+//   BUDGET AUTO) at 1:26
 //
 // The expect table is compared byte-for-byte against RelationToCsv of the
 // executed result (doubles rendered %.17g, so the goldens are exact), and
@@ -193,12 +194,19 @@ inline std::string FormatStatDouble(double v) {
 /// The stats lines a blessed fixture records, in serialization order.
 inline std::vector<std::pair<std::string, std::string>> StatsLines(
     const ql::ExecStats& stats) {
-  return {{"engine", EngineName(stats.engine)},
-          {"input", std::to_string(stats.input_rows)},
-          {"filtered", std::to_string(stats.filtered_rows)},
-          {"ita", std::to_string(stats.ita_size)},
-          {"rows", std::to_string(stats.rows)},
-          {"sse", FormatStatDouble(stats.error)}};
+  std::vector<std::pair<std::string, std::string>> lines = {
+      {"engine", EngineName(stats.engine)},
+      {"input", std::to_string(stats.input_rows)},
+      {"filtered", std::to_string(stats.filtered_rows)},
+      {"ita", std::to_string(stats.ita_size)},
+      {"rows", std::to_string(stats.rows)},
+      {"sse", FormatStatDouble(stats.error)}};
+  if (stats.advised_budget > 0) {
+    // Only BUDGET AUTO queries record the advised size, so explicit-budget
+    // goldens stay byte-identical to their pre-advisor form.
+    lines.push_back({"advised", std::to_string(stats.advised_budget)});
+  }
+  return lines;
 }
 
 /// Serializes a fixture back to disk form. Exactly one of `expect`+`stats`

@@ -84,7 +84,34 @@ TEST(PtaServerTest, EmptySessionFailsPrecondition) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(session.ZoomLadder({4, 8}).status().code(),
             StatusCode::kFailedPrecondition);
+  EXPECT_EQ(session.Advise(advisor::AdvisorOptions::Knee()).status().code(),
+            StatusCode::kFailedPrecondition);
   EXPECT_EQ(session.dataset(), "");
+}
+
+TEST(PtaServerTest, AdviseMatchesTheDirectAdvisorAndTheServedCut) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("fleet", MakeFleet()).ok());
+  auto session = server.OpenSession("fleet", FleetSpec());
+  ASSERT_TRUE(session.ok());
+
+  auto advice = session->Advise(advisor::AdvisorOptions::Knee());
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_GT(advice->budget, 0u);
+  // Serving the advised budget is an ordinary cut of the shared index.
+  auto cut = session->Cut(Budget::Size(advice->budget));
+  ASSERT_TRUE(cut.ok()) << cut.status().ToString();
+  EXPECT_EQ(cut->relation.size(), advice->budget);
+  EXPECT_EQ(cut->error, advice->sse);
+  // Target-eps advice through the session is CutToError's selection.
+  auto eps_advice =
+      session->Advise(advisor::AdvisorOptions::TargetRelativeError(0.05));
+  ASSERT_TRUE(eps_advice.ok());
+  auto eps_cut = session->Cut(Budget::RelativeError(0.05));
+  ASSERT_TRUE(eps_cut.ok());
+  EXPECT_EQ(eps_cut->relation.size(), eps_advice->budget);
+  PtaIndexCacheClear();
 }
 
 TEST(PtaServerTest, OpenSessionValidatesSpecEagerly) {
