@@ -104,12 +104,12 @@ struct Advice {
 };
 
 /// Runs the chosen criterion on the index's recorded curve.
-Result<Advice> Advise(const PtaIndex& index, const AdvisorOptions& options);
+[[nodiscard]] Result<Advice> Advise(const PtaIndex& index, const AdvisorOptions& options);
 
 /// The per-group allocator behind Advise, exposed for tests and the
 /// bench: distributes `total` segments (clamped to [cmin, n]) over the
 /// groups' error curves and returns the allocation by group id.
-Result<std::vector<GroupBudget>> AllocateGroupBudgets(const PtaIndex& index,
+[[nodiscard]] Result<std::vector<GroupBudget>> AllocateGroupBudgets(const PtaIndex& index,
                                                       size_t total);
 
 }  // namespace advisor

@@ -55,7 +55,7 @@ class ErrorCurve {
   /// The curve of dense group id `group`: its knots follow the group's
   /// recorded merges in global merge order; SSE is re-accumulated over
   /// that group's Δ-errors alone. Fails on a group id without leaves.
-  static Result<ErrorCurve> ForGroup(const PtaIndex& index, int32_t group);
+  [[nodiscard]] static Result<ErrorCurve> ForGroup(const PtaIndex& index, int32_t group);
 
   /// Curves of every group that has at least one leaf, by group id.
   static std::vector<ErrorCurve> PerGroup(const PtaIndex& index);
@@ -76,15 +76,15 @@ class ErrorCurve {
 
   /// SSE of the cut at size c; InvalidArgument outside
   /// [coarsest_size(), finest_size()] or for c == 0.
-  Result<double> ErrorAt(size_t c) const;
+  [[nodiscard]] Result<double> ErrorAt(size_t c) const;
 
   /// The minimal size whose SSE is <= eps * scale(); eps in [0, 1].
   /// On the global curve this is PtaIndex::SizeForError(eps) verbatim.
-  Result<size_t> SizeFor(double eps) const;
+  [[nodiscard]] Result<size_t> SizeFor(double eps) const;
 
   /// The Δ-error of the merge that takes the curve from size c + 1 to
   /// size c — the marginal cost of one more unit of coarsening.
-  Result<double> MarginalAt(size_t c) const;
+  [[nodiscard]] Result<double> MarginalAt(size_t c) const;
 
   /// The raw knots, finest first: {(finest, 0.0), ..., (coarsest, sse)}.
   std::vector<CurvePoint> Points() const;

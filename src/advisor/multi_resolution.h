@@ -37,7 +37,7 @@ namespace advisor {
 /// `coarse_size` by replaying the dendrogram's merges with the merge
 /// heap's arithmetic. The result is bitwise equal to the index's own cut
 /// at coarse_size: the bottom-up reconciliation property.
-Result<SequentialRelation> Reaggregate(const PtaIndex& index,
+[[nodiscard]] Result<SequentialRelation> Reaggregate(const PtaIndex& index,
                                        const SequentialRelation& finer,
                                        size_t coarse_size);
 
@@ -46,7 +46,7 @@ Result<SequentialRelation> Reaggregate(const PtaIndex& index,
 /// bottom-up via Reaggregate and compared bitwise. `budgets` must be
 /// strictly ascending (MultiBudgetCut's contract); the returned ladder is
 /// coarsest first, like MultiBudgetCut's.
-Result<std::vector<Reduction>> MultiResolution(
+[[nodiscard]] Result<std::vector<Reduction>> MultiResolution(
     const PtaIndex& index, const std::vector<size_t>& budgets);
 
 }  // namespace advisor

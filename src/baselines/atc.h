@@ -22,7 +22,7 @@ namespace pta {
 /// adjacent tuple while the SSE of the (merged segment vs. its constituent
 /// tuples) stays <= threshold. Gaps and group changes always start a new
 /// segment. Returns the reduction with its exact total SSE.
-Result<Reduction> AtcReduce(const SequentialRelation& ita, double threshold,
+[[nodiscard]] Result<Reduction> AtcReduce(const SequentialRelation& ita, double threshold,
                             const std::vector<double>& weights = {});
 
 /// \brief One point of an ATC threshold sweep.

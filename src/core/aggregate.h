@@ -66,7 +66,7 @@ std::unique_ptr<Aggregator> CreateAggregator(AggKind kind);
 
 /// One-shot evaluation over a set of values; fails on an empty input (the
 /// temporal operators never aggregate over empty tuple sets).
-Result<double> EvaluateAggregate(AggKind kind, const std::vector<double>& values);
+[[nodiscard]] Result<double> EvaluateAggregate(AggKind kind, const std::vector<double>& values);
 
 }  // namespace pta
 

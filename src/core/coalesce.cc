@@ -16,6 +16,9 @@ TemporalRelation Coalesce(const TemporalRelation& rel) {
   // Deterministic output order: sort the distinct value vectors.
   std::vector<const GroupKey*> keys;
   keys.reserve(buckets.size());
+  // Only collects pointers to the distinct keys; the sort below fixes
+  // the output order.
+  // pta-lint: allow(unordered-iteration) -- order fixed by sort below
   for (const auto& [key, _] : buckets) keys.push_back(&key);
   std::sort(keys.begin(), keys.end(),
             [](const GroupKey* a, const GroupKey* b) {

@@ -42,7 +42,7 @@ struct ItaSpec {
 class ItaStream : public SegmentSource {
  public:
   /// The relation must outlive the stream.
-  static Result<std::unique_ptr<ItaStream>> Create(const TemporalRelation& rel,
+  [[nodiscard]] static Result<std::unique_ptr<ItaStream>> Create(const TemporalRelation& rel,
                                                    const ItaSpec& spec);
   ~ItaStream() override;
 
@@ -101,7 +101,7 @@ class ItaStream : public SegmentSource {
 
 /// Batch ITA: materializes the full sequential result with group keys
 /// attached. Equivalent to draining an ItaStream.
-Result<SequentialRelation> Ita(const TemporalRelation& rel,
+[[nodiscard]] Result<SequentialRelation> Ita(const TemporalRelation& rel,
                                const ItaSpec& spec);
 
 /// \brief Stable shard assignment for ITA groups.
@@ -113,7 +113,7 @@ Result<SequentialRelation> Ita(const TemporalRelation& rel,
 /// The hash is byte-stable (FNV-1a over normalized payloads), so the same
 /// data produces the same sharding on every platform and run. Fails when a
 /// shard_by name is not a grouping attribute.
-Result<std::vector<uint32_t>> GroupShardMap(
+[[nodiscard]] Result<std::vector<uint32_t>> GroupShardMap(
     const std::vector<GroupKey>& group_keys,
     const std::vector<std::string>& group_by,
     const std::vector<std::string>& shard_by, size_t num_shards);

@@ -28,7 +28,7 @@ struct MwtaWindow {
 
 /// Batch MWTA: like Ita() but aggregating over the window around each
 /// instant. A zero window reduces to ITA exactly.
-Result<SequentialRelation> Mwta(const TemporalRelation& rel,
+[[nodiscard]] Result<SequentialRelation> Mwta(const TemporalRelation& rel,
                                 const ItaSpec& spec, const MwtaWindow& window);
 
 /// Streaming MWTA; the relation must outlive the stream. The returned
@@ -36,7 +36,7 @@ Result<SequentialRelation> Mwta(const TemporalRelation& rel,
 /// directly (PTA over moving-window aggregates).
 ///
 /// Note: the stream owns an extended copy of the input tuples.
-Result<std::unique_ptr<SegmentSource>> MwtaStream(const TemporalRelation& rel,
+[[nodiscard]] Result<std::unique_ptr<SegmentSource>> MwtaStream(const TemporalRelation& rel,
                                                   const ItaSpec& spec,
                                                   const MwtaWindow& window);
 

@@ -47,6 +47,9 @@ bool TemporalRelation::IsSequential(
   for (const Tuple& t : tuples_) {
     groups[t.Project(group_indices)].push_back(t.interval());
   }
+  // Computes an order-independent bool (all buckets pairwise disjoint);
+  // no output depends on the iteration order.
+  // pta-lint: allow(unordered-iteration) -- order-independent predicate
   for (auto& [key, intervals] : groups) {
     std::sort(intervals.begin(), intervals.end(),
               [](const Interval& a, const Interval& b) {

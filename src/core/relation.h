@@ -26,9 +26,9 @@ class TemporalRelation {
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
   /// Appends a tuple after validating it against the schema.
-  Status Insert(std::vector<Value> values, Interval t);
+  [[nodiscard]] Status Insert(std::vector<Value> values, Interval t);
   /// Appends a pre-built tuple after validating it against the schema.
-  Status Insert(Tuple tuple);
+  [[nodiscard]] Status Insert(Tuple tuple);
   /// Appends without validation; for trusted internal producers.
   void InsertUnchecked(Tuple tuple) { tuples_.push_back(std::move(tuple)); }
 
@@ -45,7 +45,7 @@ class TemporalRelation {
   bool IsSequential(const std::vector<size_t>& group_indices) const;
 
   /// Minimum and maximum chronon covered by any tuple; fails on empty input.
-  Result<Interval> TimeSpan() const;
+  [[nodiscard]] Result<Interval> TimeSpan() const;
 
   /// Multiset equality (order-insensitive); used by tests.
   bool SameTuples(const TemporalRelation& other) const;
@@ -66,7 +66,7 @@ class TemporalRelation {
 /// shard and ITA/PTA can run per shard independently. Tuples keep their
 /// relative order; the hash is byte-stable across platforms and runs.
 /// Fails on unknown attribute names.
-Result<std::vector<TemporalRelation>> PartitionByGroupHash(
+[[nodiscard]] Result<std::vector<TemporalRelation>> PartitionByGroupHash(
     const TemporalRelation& rel, const std::vector<std::string>& group_by,
     size_t num_shards);
 

@@ -31,7 +31,7 @@ class Schema {
   explicit Schema(std::vector<AttributeDef> attributes);
 
   /// Appends an attribute; the name must not already exist.
-  Status AddAttribute(const std::string& name, ValueType type);
+  [[nodiscard]] Status AddAttribute(const std::string& name, ValueType type);
 
   size_t num_attributes() const { return attributes_.size(); }
   const AttributeDef& attribute(size_t i) const { return attributes_[i]; }
@@ -42,12 +42,12 @@ class Schema {
 
   /// Resolves a list of attribute names to indices; fails on the first
   /// unknown name.
-  Result<std::vector<size_t>> ResolveAll(
+  [[nodiscard]] Result<std::vector<size_t>> ResolveAll(
       const std::vector<std::string>& names) const;
 
   /// Checks that a row of values matches this schema's arity and types
   /// (null is accepted for any declared type).
-  Status ValidateRow(const std::vector<Value>& values) const;
+  [[nodiscard]] Status ValidateRow(const std::vector<Value>& values) const;
 
   bool operator==(const Schema& other) const {
     return attributes_ == other.attributes_;

@@ -28,7 +28,7 @@ std::vector<Interval> MakeSpans(Chronon start, int64_t width, size_t count);
 /// Evaluates the STA query. The result schema is (group attrs..., aggregate
 /// outputs...) with one tuple per (group, span) pair for which at least one
 /// argument tuple overlaps the span.
-Result<TemporalRelation> Sta(const TemporalRelation& rel, const StaSpec& spec);
+[[nodiscard]] Result<TemporalRelation> Sta(const TemporalRelation& rel, const StaSpec& spec);
 
 }  // namespace pta
 

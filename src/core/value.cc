@@ -90,6 +90,9 @@ uint64_t Value::Hash() const {
     case ValueType::kDouble: {
       double x = std::get<double>(v_);
       // Normalize -0.0 so equal values hash equally.
+      // Exact by design: matches both zeros to collapse -0.0 onto +0.0
+      // before hashing, so equal values hash equally.
+      // pta-lint: allow(float-equality) -- exact zero match is the point
       if (x == 0.0) x = 0.0;
       uint64_t bits;
       std::memcpy(&bits, &x, sizeof(bits));

@@ -18,12 +18,12 @@ std::string RelationToCsv(const TemporalRelation& rel);
 
 /// Parses CSV text against an expected schema (header must match the schema
 /// attribute names followed by tb, te).
-Result<TemporalRelation> RelationFromCsv(const std::string& text,
+[[nodiscard]] Result<TemporalRelation> RelationFromCsv(const std::string& text,
                                          const Schema& schema);
 
 /// File variants.
-Status WriteCsvFile(const TemporalRelation& rel, const std::string& path);
-Result<TemporalRelation> ReadCsvFile(const std::string& path,
+[[nodiscard]] Status WriteCsvFile(const TemporalRelation& rel, const std::string& path);
+[[nodiscard]] Result<TemporalRelation> ReadCsvFile(const std::string& path,
                                      const Schema& schema);
 
 }  // namespace pta

@@ -44,13 +44,13 @@ struct DpStats {
 
 /// Size-bounded PTA, exact (PTAc, Fig. 7). Requires cmin <= c; if
 /// c >= input size the input is returned unchanged with zero error.
-Result<Reduction> ReduceToSizeDp(const SequentialRelation& ita, size_t c,
+[[nodiscard]] Result<Reduction> ReduceToSizeDp(const SequentialRelation& ita, size_t c,
                                  const DpOptions& options = {},
                                  DpStats* stats = nullptr);
 
 /// Error-bounded PTA, exact (PTAε, Fig. 8). Requires 0 <= eps <= 1; finds
 /// the smallest k whose optimal reduction has SSE <= eps * Emax.
-Result<Reduction> ReduceToErrorDp(const SequentialRelation& ita, double eps,
+[[nodiscard]] Result<Reduction> ReduceToErrorDp(const SequentialRelation& ita, double eps,
                                   const DpOptions& options = {},
                                   DpStats* stats = nullptr);
 
@@ -58,7 +58,7 @@ Result<Reduction> ReduceToErrorDp(const SequentialRelation& ita, double eps,
 /// (out[k-1] = SSE of the optimal reduction to k tuples; infinity for
 /// k < cmin). Stores only two error rows, so it scales to the full error
 /// curves of Fig. 14/15 without the O(n^2) split matrix.
-Result<std::vector<double>> DpErrorCurve(const SequentialRelation& ita,
+[[nodiscard]] Result<std::vector<double>> DpErrorCurve(const SequentialRelation& ita,
                                          size_t max_c,
                                          const DpOptions& options = {},
                                          DpStats* stats = nullptr);
@@ -71,7 +71,7 @@ struct DpMatrices {
   std::vector<std::vector<double>> error;
   std::vector<std::vector<int64_t>> split;
 };
-Result<DpMatrices> ComputeDpMatrices(const SequentialRelation& ita, size_t c,
+[[nodiscard]] Result<DpMatrices> ComputeDpMatrices(const SequentialRelation& ita, size_t c,
                                      const DpOptions& options = {});
 
 }  // namespace pta

@@ -123,6 +123,9 @@ Result<double> EstimateMaxErrorBySampling(const SequentialRelation& rel,
   if (fraction <= 0.0 || fraction > 1.0) {
     return Status::InvalidArgument("sample fraction must be in (0, 1]");
   }
+  // 1.0 is an exact API sentinel ("use everything"), not a computed
+  // quantity; no tolerance applies.
+  // pta-lint: allow(float-equality) -- exact API sentinel, not computed
   if (fraction == 1.0) {
     const ErrorContext ctx(rel, weights, merge_across_gaps);
     return ctx.MaxError();

@@ -117,7 +117,7 @@ class ErrorContext {
 /// budget allocator uses to weigh shards; like the gPTAε estimator, an
 /// underestimate only costs quality headroom, never correctness. The result
 /// is deterministic for a fixed seed. Fails when fraction is outside (0, 1].
-Result<double> EstimateMaxErrorBySampling(const SequentialRelation& rel,
+[[nodiscard]] Result<double> EstimateMaxErrorBySampling(const SequentialRelation& rel,
                                           const std::vector<double>& weights,
                                           double fraction, uint64_t seed,
                                           bool merge_across_gaps = false);
@@ -128,7 +128,7 @@ Result<double> EstimateMaxErrorBySampling(const SequentialRelation& rel,
 /// `z` may have segment boundaries anywhere (it need not be a merge-based
 /// reduction — DWT/PAA/APCA output qualifies) but must cover every chronon
 /// of every group of `s` and must use the same group ids. Fails otherwise.
-Result<double> StepFunctionSse(const SequentialRelation& s,
+[[nodiscard]] Result<double> StepFunctionSse(const SequentialRelation& s,
                                const SequentialRelation& z,
                                const std::vector<double>& weights = {});
 

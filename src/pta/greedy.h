@@ -73,22 +73,22 @@ struct GreedyErrorEstimates {
 };
 
 /// GMS, size-bounded: reduce a materialized ITA result to c tuples.
-Result<Reduction> GmsReduceToSize(const SequentialRelation& ita, size_t c,
+[[nodiscard]] Result<Reduction> GmsReduceToSize(const SequentialRelation& ita, size_t c,
                                   const GreedyOptions& options = {},
                                   GreedyStats* stats = nullptr);
 
 /// GMS, error-bounded: maximal greedy reduction with SSE <= eps * Emax.
-Result<Reduction> GmsReduceToError(const SequentialRelation& ita, double eps,
+[[nodiscard]] Result<Reduction> GmsReduceToError(const SequentialRelation& ita, double eps,
                                    const GreedyOptions& options = {},
                                    GreedyStats* stats = nullptr);
 
 /// gPTAc (Fig. 11): streaming size-bounded greedy reduction.
-Result<Reduction> GreedyReduceToSize(SegmentSource& source, size_t c,
+[[nodiscard]] Result<Reduction> GreedyReduceToSize(SegmentSource& source, size_t c,
                                      const GreedyOptions& options = {},
                                      GreedyStats* stats = nullptr);
 
 /// gPTAε (Fig. 13): streaming error-bounded greedy reduction.
-Result<Reduction> GreedyReduceToError(SegmentSource& source, double eps,
+[[nodiscard]] Result<Reduction> GreedyReduceToError(SegmentSource& source, double eps,
                                       const GreedyErrorEstimates& estimates,
                                       const GreedyOptions& options = {},
                                       GreedyStats* stats = nullptr);

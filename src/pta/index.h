@@ -94,7 +94,7 @@ class PtaIndex {
   /// Runs the full greedy merge (to cmin) once and records the dendrogram.
   /// Validates the input's sequential order and the weights arity; fails
   /// with InvalidArgument like the greedy reducers do.
-  static Result<PtaIndex> Build(SequentialRelation input,
+  [[nodiscard]] static Result<PtaIndex> Build(SequentialRelation input,
                                 const PtaIndexOptions& options = {},
                                 PtaIndexBuildStats* stats = nullptr);
 
@@ -117,7 +117,7 @@ class PtaIndex {
   /// consistent with the children). Roots are recomputed, not trusted.
   /// Rejects anything else as InvalidArgument — never crashes on a
   /// malformed dendrogram.
-  static Result<PtaIndex> FromParts(SequentialRelation input,
+  [[nodiscard]] static Result<PtaIndex> FromParts(SequentialRelation input,
                                     std::vector<MergeNode> merges,
                                     std::vector<double> merge_values,
                                     std::vector<double> deltas,
@@ -164,29 +164,29 @@ class PtaIndex {
   /// The reduction to (at most) c segments: byte-identical relation and
   /// error to GmsReduceToSize(input, c). Fails with InvalidArgument when
   /// c == 0 or c < cmin, matching the reducer's contract.
-  Result<Reduction> CutToSize(size_t c) const;
+  [[nodiscard]] Result<Reduction> CutToSize(size_t c) const;
 
   /// The SSE of the cut CutToSize(c) would emit — a curve lookup on the
   /// recorded cumulative errors, no Reduction materialized. Same domain
   /// and failures as CutToSize (c == 0 and c < cmin are InvalidArgument).
-  Result<double> ErrorForSize(size_t c) const;
+  [[nodiscard]] Result<double> ErrorForSize(size_t c) const;
 
   /// The output size CutToError(eps) would select: the minimal c whose
   /// curve error is <= eps * max_error(), again without materializing the
   /// cut. Requires eps in [0, 1]. CutToError and the granularity
   /// advisor's target-relative-error criterion both delegate here, so the
   /// two surfaces can never drift apart.
-  Result<size_t> SizeForError(double eps) const;
+  [[nodiscard]] Result<size_t> SizeForError(double eps) const;
 
   /// The maximal reduction with SSE <= eps * Emax: byte-identical to
   /// GmsReduceToError(input, eps). Requires eps in [0, 1].
-  Result<Reduction> CutToError(double eps) const;
+  [[nodiscard]] Result<Reduction> CutToError(double eps) const;
 
   /// All cuts of a strictly ascending size-budget vector in one
   /// coarse-to-fine frontier refinement; out[i] is byte-identical to
   /// CutToSize(sizes[i]). Total work is O(sum of output sizes), not
   /// O(levels * input size) — the zoom-ladder path.
-  Result<std::vector<Reduction>> MultiBudgetCut(
+  [[nodiscard]] Result<std::vector<Reduction>> MultiBudgetCut(
       const std::vector<size_t>& sizes) const;
 
  private:

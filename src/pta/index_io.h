@@ -51,14 +51,14 @@ std::string SerializeIndex(const PtaIndex& index);
 /// Decodes SerializeIndex output. The result is structurally validated
 /// end to end; on success it cuts byte-identically to the index that was
 /// serialized.
-Result<PtaIndex> DeserializeIndex(std::string_view bytes);
+[[nodiscard]] Result<PtaIndex> DeserializeIndex(std::string_view bytes);
 
 /// SerializeIndex + atomic-enough file write (IoError on failure).
-Status SaveIndex(const PtaIndex& index, const std::string& path);
+[[nodiscard]] Status SaveIndex(const PtaIndex& index, const std::string& path);
 
 /// ReadFile + DeserializeIndex (IoError when the file cannot be read,
 /// InvalidArgument when its bytes are malformed).
-Result<PtaIndex> LoadIndex(const std::string& path);
+[[nodiscard]] Result<PtaIndex> LoadIndex(const std::string& path);
 
 }  // namespace pta
 

@@ -125,7 +125,7 @@ struct ParallelStats {
 ///  * equal Êmax weights tie toward lower shard indices at every
 ///    remainder count, so repeated calls are bit-stable;
 ///  * cmin_s <= budget_s <= size_s always holds per shard.
-Result<std::vector<size_t>> AllocateSizeBudgets(
+[[nodiscard]] Result<std::vector<size_t>> AllocateSizeBudgets(
     const std::vector<size_t>& shard_sizes,
     const std::vector<size_t>& shard_cmins,
     const std::vector<double>& shard_errors, size_t c);
@@ -133,7 +133,7 @@ Result<std::vector<size_t>> AllocateSizeBudgets(
 /// Sharded gPTAc: reduces every shard with GreedyReduceToSize under its
 /// allocated slice of c and concatenates the results in global group order.
 /// Deterministic given the shard map; independent of num_threads.
-Result<Reduction> ParallelReduceToSize(
+[[nodiscard]] Result<Reduction> ParallelReduceToSize(
     const ShardedSegmentSource& shards, size_t c,
     const ParallelReduceOptions& options = {}, ParallelStats* stats = nullptr);
 
@@ -141,7 +141,7 @@ Result<Reduction> ParallelReduceToSize(
 /// against its own (estimated) maximal error — i.e. the absolute error
 /// budget eps·Êmax is split across shards proportionally to Êmax_s.
 /// Deterministic given the shard map; independent of num_threads.
-Result<Reduction> ParallelReduceToError(
+[[nodiscard]] Result<Reduction> ParallelReduceToError(
     const ShardedSegmentSource& shards, double eps,
     const ParallelReduceOptions& options = {}, ParallelStats* stats = nullptr);
 

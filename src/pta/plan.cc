@@ -3,7 +3,6 @@
 #include <cstring>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -11,8 +10,10 @@
 #include "pta/dp.h"
 #include "pta/error.h"
 #include "pta/index.h"
+#include "util/mutex.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace pta {
@@ -240,28 +241,29 @@ struct CacheEntry {
 };
 
 struct IndexCacheState {
-  std::mutex mu;
+  Mutex mu;
   /// Most recently used at the back; bounded by `config`.
-  std::deque<CacheEntry> entries;
-  size_t total_bytes = 0;
+  std::deque<CacheEntry> entries PTA_GUARDED_BY(mu);
+  size_t total_bytes PTA_GUARDED_BY(mu) = 0;
   /// Fingerprints of executed plans driving kAuto routing. FIFO-bounded at
   /// kPtaIndexFingerprintMemory, but a fingerprint with a live entry is
   /// never evicted from `seen` — routing must agree with cache contents.
-  std::deque<uint64_t> seen_order;
-  std::unordered_set<uint64_t> seen;
+  std::deque<uint64_t> seen_order PTA_GUARDED_BY(mu);
+  std::unordered_set<uint64_t> seen PTA_GUARDED_BY(mu);
   /// Builds in progress, keyed by fingerprint (the coalescing map).
-  std::unordered_map<uint64_t, std::shared_ptr<InFlightBuild>> inflight;
+  std::unordered_map<uint64_t, std::shared_ptr<InFlightBuild>> inflight
+      PTA_GUARDED_BY(mu);
   /// Generation tag per bound input address; bumped by
   /// PtaIndexCacheInvalidate and mixed into PlanFingerprint, so stale
   /// fingerprints of mutated/reloaded data become unreachable. Entries are
   /// kept after invalidation on purpose: resetting a freed address to
   /// generation 0 would resurrect its old fingerprints.
-  std::unordered_map<const void*, uint64_t> generations;
+  std::unordered_map<const void*, uint64_t> generations PTA_GUARDED_BY(mu);
   /// Input addresses whose entries are exempt from budget eviction.
-  std::unordered_set<const void*> pinned;
-  PtaIndexCacheConfig config;
-  PtaIndexCacheStats stats;
-  std::function<void(uint64_t)> build_hook;
+  std::unordered_set<const void*> pinned PTA_GUARDED_BY(mu);
+  PtaIndexCacheConfig config PTA_GUARDED_BY(mu);
+  PtaIndexCacheStats stats PTA_GUARDED_BY(mu);
+  std::function<void(uint64_t)> build_hook PTA_GUARDED_BY(mu);
 };
 
 IndexCacheState& CacheState() {
@@ -269,14 +271,16 @@ IndexCacheState& CacheState() {
   return *state;
 }
 
-bool HasEntryLocked(const IndexCacheState& state, uint64_t fingerprint) {
+bool HasEntryLocked(const IndexCacheState& state, uint64_t fingerprint)
+    PTA_REQUIRES(state.mu) {
   for (const CacheEntry& entry : state.entries) {
     if (entry.fingerprint == fingerprint) return true;
   }
   return false;
 }
 
-void NoteFingerprintLocked(IndexCacheState& state, uint64_t fingerprint) {
+void NoteFingerprintLocked(IndexCacheState& state, uint64_t fingerprint)
+    PTA_REQUIRES(state.mu) {
   if (!state.seen.insert(fingerprint).second) return;
   state.seen_order.push_back(fingerprint);
   // Trim dead fingerprints beyond the memory bound. Live ones (an index
@@ -296,7 +300,8 @@ void NoteFingerprintLocked(IndexCacheState& state, uint64_t fingerprint) {
   }
 }
 
-bool PinnedLocked(const IndexCacheState& state, const void* input) {
+bool PinnedLocked(const IndexCacheState& state, const void* input)
+    PTA_REQUIRES(state.mu) {
   return state.pinned.count(input) > 0;
 }
 
@@ -307,7 +312,7 @@ bool PinnedLocked(const IndexCacheState& state, const void* input) {
 // index must not thrash. Skipped (pinned/kept) entries make this a scan,
 // not a pop-front loop.
 void EvictToBudgetLocked(IndexCacheState& state, uint64_t keep,
-                         bool has_keep) {
+                         bool has_keep) PTA_REQUIRES(state.mu) {
   const auto over_budget = [&] {
     const size_t n = state.entries.size();
     if (state.config.max_entries != 0 && n > state.config.max_entries) {
@@ -330,7 +335,8 @@ void EvictToBudgetLocked(IndexCacheState& state, uint64_t keep,
 }
 
 void InsertLocked(IndexCacheState& state, uint64_t fingerprint,
-                  const void* input, std::shared_ptr<const PtaIndex> index) {
+                  const void* input, std::shared_ptr<const PtaIndex> index)
+    PTA_REQUIRES(state.mu) {
   for (auto it = state.entries.begin(); it != state.entries.end(); ++it) {
     if (it->fingerprint == fingerprint) {
       state.total_bytes -= it->bytes;
@@ -352,7 +358,8 @@ void InsertLocked(IndexCacheState& state, uint64_t fingerprint,
 }
 
 std::shared_ptr<const PtaIndex> LookupLocked(IndexCacheState& state,
-                                             uint64_t fingerprint) {
+                                             uint64_t fingerprint)
+    PTA_REQUIRES(state.mu) {
   for (auto it = state.entries.begin(); it != state.entries.end(); ++it) {
     if (it->fingerprint == fingerprint) {
       CacheEntry entry = std::move(*it);
@@ -406,38 +413,38 @@ uint64_t PlanFingerprint(const PtaPlan& plan) {
 
 void PtaIndexCacheSetConfig(const PtaIndexCacheConfig& config) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.config = config;
   EvictToBudgetLocked(state, /*keep=*/0, /*has_keep=*/false);
 }
 
 PtaIndexCacheConfig PtaIndexCacheGetConfig() {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.config;
 }
 
 size_t PtaIndexCacheSize() {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.entries.size();
 }
 
 size_t PtaIndexCacheBytes() {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.total_bytes;
 }
 
 PtaIndexCacheStats PtaIndexCacheGetStats() {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.stats;
 }
 
 void PtaIndexCacheInvalidate(const void* input) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   ++state.generations[input];
   ++state.stats.invalidations;
   // Drop the address's entries and forget their fingerprints: both are
@@ -465,7 +472,7 @@ void PtaIndexCacheInvalidate(const void* input) {
 
 void PtaIndexCachePin(const void* input, bool pinned) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   if (pinned) {
     state.pinned.insert(input);
   } else {
@@ -476,7 +483,7 @@ void PtaIndexCachePin(const void* input, bool pinned) {
 
 void PtaIndexCacheClear() {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.entries.clear();
   state.total_bytes = 0;
   state.seen_order.clear();
@@ -487,39 +494,39 @@ namespace internal {
 
 bool IndexCacheSawFingerprint(uint64_t fingerprint) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.seen.count(fingerprint) > 0;
 }
 
 void IndexCacheNoteFingerprint(uint64_t fingerprint) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   NoteFingerprintLocked(state, fingerprint);
 }
 
 std::shared_ptr<const PtaIndex> IndexCacheLookup(uint64_t fingerprint) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return LookupLocked(state, fingerprint);
 }
 
 void IndexCacheInsert(uint64_t fingerprint, const void* input,
                       std::shared_ptr<const PtaIndex> index) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   InsertLocked(state, fingerprint, input, std::move(index));
 }
 
 uint64_t IndexCacheInputGeneration(const void* input) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   const auto it = state.generations.find(input);
   return it == state.generations.end() ? 0 : it->second;
 }
 
 void SetIndexCacheBuildHook(std::function<void(uint64_t)> hook) {
   IndexCacheState& state = CacheState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.build_hook = std::move(hook);
 }
 
@@ -534,7 +541,7 @@ Result<std::shared_ptr<const PtaIndex>> IndexCacheGetOrBuild(
   bool owns_build = false;
   std::function<void(uint64_t)> hook;
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     if (auto cached = LookupLocked(state, fingerprint)) {
       ++state.stats.hits;
       NoteFingerprintLocked(state, fingerprint);
@@ -597,7 +604,7 @@ Result<std::shared_ptr<const PtaIndex>> IndexCacheGetOrBuild(
     outcome.status = built.status();
   }
   {
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     state.inflight.erase(fingerprint);
     if (outcome.index != nullptr) {
       InsertLocked(state, fingerprint, input_address, outcome.index);

@@ -227,7 +227,7 @@ struct PtaPlan {
 
   /// Runs the plan on its batch backend. Streaming plans cannot Execute —
   /// they have no single return value; bind them with PtaQuery::Start().
-  Result<PtaResult> Execute(PtaRunStats* stats = nullptr) const;
+  [[nodiscard]] Result<PtaResult> Execute(PtaRunStats* stats = nullptr) const;
 };
 
 /// \brief Budget-stripped fingerprint of a plan (FNV-1a, 64-bit).
@@ -332,7 +332,7 @@ uint64_t IndexCacheInputGeneration(const void* input);
 /// single PtaIndex construction; the others block on its shared future.
 /// On success the index is inserted and the fingerprint noted. `stats`
 /// (optional) reports cache_hit / coalesced / build_seconds.
-Result<std::shared_ptr<const PtaIndex>> IndexCacheGetOrBuild(
+[[nodiscard]] Result<std::shared_ptr<const PtaIndex>> IndexCacheGetOrBuild(
     const PtaPlan& plan, PtaIndexRunStats* stats);
 /// Test hook, invoked once per actual index construction with the build's
 /// fingerprint (before the build starts, outside the cache lock). Pass

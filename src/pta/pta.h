@@ -48,19 +48,19 @@ namespace pta {
 
 /// Size-bounded PTA (Def. 6), exact: ITA followed by PTAc.
 /// Wrapper over `PtaQuery...Engine(Engine::kExactDp)`.
-Result<PtaResult> PtaBySize(const TemporalRelation& rel, const ItaSpec& spec,
+[[nodiscard]] Result<PtaResult> PtaBySize(const TemporalRelation& rel, const ItaSpec& spec,
                             size_t c, const PtaOptions& options = {});
 
 /// Error-bounded PTA (Def. 7), exact: ITA followed by PTAε.
 /// eps in [0, 1] scales the largest possible error SSEmax.
 /// Wrapper over `PtaQuery...Engine(Engine::kExactDp)`.
-Result<PtaResult> PtaByError(const TemporalRelation& rel, const ItaSpec& spec,
+[[nodiscard]] Result<PtaResult> PtaByError(const TemporalRelation& rel, const ItaSpec& spec,
                              double eps, const PtaOptions& options = {});
 
 /// Size-bounded PTA, greedy and streaming: ITA tuples are merged as they
 /// are produced (gPTAc); memory stays at O(c + beta).
 /// Wrapper over `PtaQuery...Engine(Engine::kGreedy)`.
-Result<PtaResult> GreedyPtaBySize(const TemporalRelation& rel,
+[[nodiscard]] Result<PtaResult> GreedyPtaBySize(const TemporalRelation& rel,
                                   const ItaSpec& spec, size_t c,
                                   const GreedyPtaOptions& options = {},
                                   GreedyStats* stats = nullptr);
@@ -69,7 +69,7 @@ Result<PtaResult> GreedyPtaBySize(const TemporalRelation& rel,
 /// the options, n̂ = 2|r|-1 and Êmax is estimated from a deterministic
 /// sample of the input (Sec. 6.3).
 /// Wrapper over `PtaQuery...Engine(Engine::kGreedy)`.
-Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
+[[nodiscard]] Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
                                    const ItaSpec& spec, double eps,
                                    const GreedyPtaOptions& options = {},
                                    GreedyStats* stats = nullptr);
@@ -77,7 +77,7 @@ Result<PtaResult> GreedyPtaByError(const TemporalRelation& rel,
 /// Size-bounded PTA, greedy, group-sharded and multi-threaded: gPTAc per
 /// shard under a budget split proportional to per-shard estimated error.
 /// Wrapper over `PtaQuery...Engine(Engine::kParallel)`.
-Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
+[[nodiscard]] Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
                                           const ItaSpec& spec, size_t c,
                                           const ParallelOptions& parallel = {},
                                           const GreedyPtaOptions& options = {},
@@ -86,7 +86,7 @@ Result<PtaResult> ParallelGreedyPtaBySize(const TemporalRelation& rel,
 /// Error-bounded PTA, greedy, group-sharded and multi-threaded: gPTAε per
 /// shard, each against its own (estimated) maximal error.
 /// Wrapper over `PtaQuery...Engine(Engine::kParallel)`.
-Result<PtaResult> ParallelGreedyPtaByError(
+[[nodiscard]] Result<PtaResult> ParallelGreedyPtaByError(
     const TemporalRelation& rel, const ItaSpec& spec, double eps,
     const ParallelOptions& parallel = {}, const GreedyPtaOptions& options = {},
     ParallelStats* stats = nullptr);

@@ -113,18 +113,18 @@ class PtaQuery {
   PtaQuery& Streaming(StreamingOptions options);
 
   /// Validates and lowers the query without executing it.
-  Result<PtaPlan> Plan() const;
+  [[nodiscard]] Result<PtaPlan> Plan() const;
 
   /// Plans and executes the query on its batch backend. For streaming
   /// queries use Start() instead.
-  Result<PtaResult> Run(PtaRunStats* stats = nullptr) const;
+  [[nodiscard]] Result<PtaResult> Run(PtaRunStats* stats = nullptr) const;
 
   /// Plans the query and binds it to an online engine, returning the
   /// StreamingQuery handle (Ingest/AdvanceWatermark/TakeEmitted/Snapshot/
   /// Finalize). Declared here, defined in the pta_stream library — include
   /// pta/stream_api.h and link pta_stream to use it. Requires a Stream(p)
   /// source (an engine never ingests a pre-bound input) and a size budget.
-  Result<StreamingQuery> Start() const;
+  [[nodiscard]] Result<StreamingQuery> Start() const;
 
   /// Lets the granularity advisor pick the budget: plans the query,
   /// obtains (or builds) its PtaIndex through the plan cache, runs
@@ -134,7 +134,7 @@ class PtaQuery {
   /// full recommendation. Declared here, defined in the pta_advisor
   /// library — include advisor/advisor.h and link pta_advisor to use it.
   /// Requires a bound relation input (not a Stream source).
-  Result<PtaQuery> BudgetAuto(const advisor::AdvisorOptions& options,
+  [[nodiscard]] Result<PtaQuery> BudgetAuto(const advisor::AdvisorOptions& options,
                               advisor::Advice* advice = nullptr) const;
 
  private:

@@ -96,12 +96,12 @@ class SequentialRelation {
 
   /// Checks ordering (group ids non-decreasing, intervals within a group
   /// strictly ordered and disjoint).
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 
   /// Converts to a generic TemporalRelation with schema
   /// (group attrs..., value columns...); group attribute definitions come
   /// from `group_schema` and must match the stored group keys' arity.
-  Result<TemporalRelation> ToTemporalRelation(const Schema& group_schema) const;
+  [[nodiscard]] Result<TemporalRelation> ToTemporalRelation(const Schema& group_schema) const;
 
   /// Element-wise comparison with tolerance on aggregate values.
   bool ApproxEquals(const SequentialRelation& other, double tol = 1e-9) const;
@@ -171,7 +171,7 @@ class ShardedSegmentSource {
   /// the shard of dense group id g and must be < num_shards; a group id at
   /// or beyond shard_of.size() is an error, as is a segment sequence whose
   /// per-shard projection violates sequential order.
-  static Result<ShardedSegmentSource> Partition(
+  [[nodiscard]] static Result<ShardedSegmentSource> Partition(
       SegmentSource& source, size_t num_shards,
       const std::vector<uint32_t>& shard_of);
 
@@ -203,7 +203,7 @@ SequentialRelation FromTimeSeries(const std::vector<std::vector<double>>& dims);
 /// series per dimension (one entry per chronon). This is the representation
 /// the time-series baselines (PAA, DWT, APCA, DFT, Chebyshev) operate on.
 /// Fails if the relation has gaps or more than one group.
-Result<std::vector<std::vector<double>>> ToTimeSeries(
+[[nodiscard]] Result<std::vector<std::vector<double>>> ToTimeSeries(
     const SequentialRelation& rel);
 
 }  // namespace pta

@@ -49,7 +49,7 @@ class StreamingQuery {
   /// online engine. Requires a streaming plan: Engine::kStreaming — the
   /// default for a PtaQuery::Stream(p) source — and a size budget.
   /// Equivalent to `query.Start()`.
-  static Result<StreamingQuery> Start(const PtaQuery& query);
+  [[nodiscard]] static Result<StreamingQuery> Start(const PtaQuery& query);
 
   /// True once bound to an engine.
   bool started() const { return single_ != nullptr || sharded_ != nullptr; }
@@ -60,19 +60,19 @@ class StreamingQuery {
   /// Ingests one segment (see StreamingPtaEngine::Ingest for the ordering
   /// contract). On a sharded handle this wraps the segment in a one-row
   /// chunk — batch segments into IngestChunk for throughput there.
-  Status Ingest(const Segment& seg);
+  [[nodiscard]] Status Ingest(const Segment& seg);
   /// Ingests every segment of `chunk` in order, then applies the
   /// auto-watermark policy if configured. Not atomic on failure.
-  Status IngestChunk(const SequentialRelation& chunk);
+  [[nodiscard]] Status IngestChunk(const SequentialRelation& chunk);
   /// Declares that no future segment will begin before `watermark`.
-  Status AdvanceWatermark(Chronon watermark);
+  [[nodiscard]] Status AdvanceWatermark(Chronon watermark);
 
   /// Drains sealed rows (group-major, value names attached).
   SequentialRelation TakeEmitted();
   /// The current summary (pending + live rows) without disturbing state.
   SequentialRelation Snapshot() const;
   /// Terminal drain down to the size budget; ends the engine.
-  Result<SequentialRelation> Finalize();
+  [[nodiscard]] Result<SequentialRelation> Finalize();
 
   size_t live_rows() const;
   size_t pending_rows() const;
@@ -82,7 +82,7 @@ class StreamingQuery {
   StreamingStats stats() const;
 
  private:
-  Status RequireStarted() const;
+  [[nodiscard]] Status RequireStarted() const;
   SequentialRelation WithNames(SequentialRelation rel) const;
 
   std::unique_ptr<StreamingPtaEngine> single_;

@@ -200,7 +200,7 @@ Result<SequentialRelation> RunStreaming(const Query& query,
   return out;
 }
 
-Result<SequentialRelation> RunBatch(const Query& query, pta::Engine engine,
+Result<SequentialRelation> RunBatch(pta::Engine engine,
                                     pta::Budget budget,
                                     const SequentialRelation& ita,
                                     const ExecOptions& options,
@@ -381,7 +381,7 @@ Result<ExecResult> Execute(const Query& query, const Catalog& catalog,
     auto reduced =
         engine == pta::Engine::kStreaming
             ? RunStreaming(query, *ita, options, &out.stats)
-            : RunBatch(query, engine, budget, *ita, options, &out.stats);
+            : RunBatch(engine, budget, *ita, options, &out.stats);
     if (advised) {
       // The advisor cached an index under the executor-local ITA's
       // address; drop it before the relation dies (RunBatch only does so

@@ -104,11 +104,11 @@ struct ExecResult {
 };
 
 /// Executes a parsed query against the catalog.
-Result<ExecResult> Execute(const Query& query, const Catalog& catalog,
+[[nodiscard]] Result<ExecResult> Execute(const Query& query, const Catalog& catalog,
                            const ExecOptions& options = {});
 
 /// Convenience: ParseQuery + Execute. `diag` is filled on parse errors.
-Result<ExecResult> ParseAndExecute(std::string_view text,
+[[nodiscard]] Result<ExecResult> ParseAndExecute(std::string_view text,
                                    const Catalog& catalog,
                                    const ExecOptions& options = {},
                                    ParseDiagnostic* diag = nullptr);

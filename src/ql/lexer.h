@@ -81,7 +81,7 @@ struct LexError {
 /// token carrying the end-of-input location. On failure returns
 /// Status::InvalidArgument with the location appended ("<msg> at l:c") and,
 /// when `error` is non-null, the structured location/message.
-Result<std::vector<Token>> Lex(std::string_view text, LexError* error = nullptr);
+[[nodiscard]] Result<std::vector<Token>> Lex(std::string_view text, LexError* error = nullptr);
 
 /// Formats "<message> at <line>:<column>" (or just the message when the
 /// location is unknown) — the uniform diagnostic shape of the QL layer.

@@ -57,7 +57,7 @@ struct ParseDiagnostic {
 /// Parses one PTA-QL statement. On failure returns
 /// Status::InvalidArgument("<msg> at <line>:<col>") and fills `diag` (when
 /// non-null) with the structured location.
-Result<Query> ParseQuery(std::string_view text,
+[[nodiscard]] Result<Query> ParseQuery(std::string_view text,
                          ParseDiagnostic* diag = nullptr);
 
 }  // namespace ql

@@ -1,36 +1,13 @@
 #include "serve/server.h"
 
-#include <shared_mutex>
 #include <utility>
 
 #include "pta/index.h"
 #include "pta/index_io.h"
 #include "util/binio.h"
+#include "util/mutex.h"
 
 namespace pta {
-
-namespace serve_internal {
-
-// The served data lives inside optionals so its address — the key of the
-// index cache's fingerprints, pins, and generation tags — is stable for
-// the dataset's whole lifetime, across in-place updates. Exactly one of
-// the two optionals is engaged, fixed at registration.
-struct Dataset {
-  std::string name;
-  /// Queries hold this shared; UpdateDataset/DropDataset hold it
-  /// exclusive. Mutations therefore never race an index build reading the
-  /// data, and queries on distinct datasets never contend.
-  mutable std::shared_mutex mu;
-  std::optional<TemporalRelation> relation;
-  std::optional<SequentialRelation> sequential;
-
-  const void* address() const {
-    return relation.has_value() ? static_cast<const void*>(&*relation)
-                                : static_cast<const void*>(&*sequential);
-  }
-};
-
-}  // namespace serve_internal
 
 using serve_internal::Dataset;
 
@@ -62,7 +39,7 @@ Result<PtaResult> PtaSession::Cut(Budget budget, PtaRunStats* stats) const {
     return Status::FailedPrecondition(
         "empty session; obtain sessions from PtaServer::OpenSession");
   }
-  std::shared_lock<std::shared_mutex> lock(dataset_->mu);
+  ReaderMutexLock lock(&dataset_->mu);
   return MakeQuery().WithBudget(budget).Run(stats);
 }
 
@@ -81,7 +58,7 @@ Result<std::vector<Reduction>> PtaSession::ZoomLadder(
     return Status::FailedPrecondition(
         "empty session; obtain sessions from PtaServer::OpenSession");
   }
-  std::shared_lock<std::shared_mutex> lock(dataset_->mu);
+  ReaderMutexLock lock(&dataset_->mu);
   // The ladder carries its own sizes; the plan's budget is a placeholder
   // that only shapes validation, never a cut (fingerprints are
   // budget-stripped, so it does not fragment the cache either).
@@ -98,7 +75,7 @@ Result<advisor::Advice> PtaSession::Advise(
     return Status::FailedPrecondition(
         "empty session; obtain sessions from PtaServer::OpenSession");
   }
-  std::shared_lock<std::shared_mutex> lock(dataset_->mu);
+  ReaderMutexLock lock(&dataset_->mu);
   auto plan = MakeQuery().Budget(Budget::Size(1)).Plan();
   if (!plan.ok()) return plan.status();
   auto index = internal::IndexCacheGetOrBuild(*plan, nullptr);
@@ -121,7 +98,7 @@ PtaServer::~PtaServer() {
 }
 
 std::shared_ptr<Dataset> PtaServer::Find(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  MutexLock lock(&registry_mu_);
   const auto it = datasets_.find(name);
   return it == datasets_.end() ? nullptr : it->second;
 }
@@ -141,8 +118,13 @@ Status PtaServer::AddDataset(std::string name, TemporalRelation data) {
   PTA_RETURN_IF_ERROR(ValidateName(name));
   auto dataset = std::make_shared<Dataset>();
   dataset->name = name;
-  dataset->relation.emplace(std::move(data));
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  {
+    // A freshly constructed record no other thread can reach yet; locked
+    // anyway so the annotated optionals stay inside their contract.
+    WriterMutexLock data_lock(&dataset->mu);
+    dataset->relation.emplace(std::move(data));
+  }
+  MutexLock lock(&registry_mu_);
   if (!datasets_.emplace(std::move(name), std::move(dataset)).second) {
     return Status::InvalidArgument("dataset already registered");
   }
@@ -153,8 +135,11 @@ Status PtaServer::AddDataset(std::string name, SequentialRelation data) {
   PTA_RETURN_IF_ERROR(ValidateName(name));
   auto dataset = std::make_shared<Dataset>();
   dataset->name = name;
-  dataset->sequential.emplace(std::move(data));
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  {
+    WriterMutexLock data_lock(&dataset->mu);
+    dataset->sequential.emplace(std::move(data));
+  }
+  MutexLock lock(&registry_mu_);
   if (!datasets_.emplace(std::move(name), std::move(dataset)).second) {
     return Status::InvalidArgument("dataset already registered");
   }
@@ -165,11 +150,11 @@ Status PtaServer::UpdateDataset(const std::string& name,
                                 TemporalRelation data) {
   auto dataset = Find(name);
   if (dataset == nullptr) return Status::NotFound("unknown dataset: " + name);
+  WriterMutexLock lock(&dataset->mu);
   if (!dataset->relation.has_value()) {
     return Status::InvalidArgument(
         "dataset is sequential; update it with a SequentialRelation");
   }
-  std::unique_lock<std::shared_mutex> lock(dataset->mu);
   *dataset->relation = std::move(data);
   // Same address, new contents: bump the generation so every index built
   // over the old data is unreachable. This runs under the exclusive lock,
@@ -182,11 +167,11 @@ Status PtaServer::UpdateDataset(const std::string& name,
                                 SequentialRelation data) {
   auto dataset = Find(name);
   if (dataset == nullptr) return Status::NotFound("unknown dataset: " + name);
+  WriterMutexLock lock(&dataset->mu);
   if (!dataset->sequential.has_value()) {
     return Status::InvalidArgument(
         "dataset is temporal; update it with a TemporalRelation");
   }
-  std::unique_lock<std::shared_mutex> lock(dataset->mu);
   *dataset->sequential = std::move(data);
   PtaIndexCacheInvalidate(dataset->address());
   return Status::Ok();
@@ -195,7 +180,7 @@ Status PtaServer::UpdateDataset(const std::string& name,
 Status PtaServer::DropDataset(const std::string& name) {
   std::shared_ptr<Dataset> dataset;
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     const auto it = datasets_.find(name);
     if (it == datasets_.end()) {
       return Status::NotFound("unknown dataset: " + name);
@@ -206,7 +191,7 @@ Status PtaServer::DropDataset(const std::string& name) {
   // The address may be freed (and reused) once the last session releases
   // the dataset; invalidating here makes every old fingerprint of it
   // unreachable first, and the unpin stops exempting dead entries.
-  std::unique_lock<std::shared_mutex> lock(dataset->mu);
+  WriterMutexLock lock(&dataset->mu);
   PtaIndexCachePin(dataset->address(), false);
   PtaIndexCacheInvalidate(dataset->address());
   return Status::Ok();
@@ -215,7 +200,7 @@ Status PtaServer::DropDataset(const std::string& name) {
 Status PtaServer::PinDataset(const std::string& name, bool pinned) {
   auto dataset = Find(name);
   if (dataset == nullptr) return Status::NotFound("unknown dataset: " + name);
-  std::shared_lock<std::shared_mutex> lock(dataset->mu);
+  ReaderMutexLock lock(&dataset->mu);
   PtaIndexCachePin(dataset->address(), pinned);
   return Status::Ok();
 }
@@ -229,12 +214,14 @@ Result<PtaSession> PtaServer::OpenSession(const std::string& dataset,
   }
   PtaSession session(this, std::move(handle), std::move(spec),
                      std::move(weights));
-  // Validate the shape eagerly — a malformed session would otherwise fail
-  // on every request, after admission already spent queue capacity on it.
-  std::shared_lock<std::shared_mutex> lock(session.dataset_->mu);
-  auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
-  if (!plan.ok()) return plan.status();
-  lock.unlock();
+  {
+    // Validate the shape eagerly — a malformed session would otherwise
+    // fail on every request, after admission already spent queue capacity
+    // on it.
+    ReaderMutexLock lock(&session.dataset_->mu);
+    auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
+    if (!plan.ok()) return plan.status();
+  }
   return session;
 }
 
@@ -250,7 +237,7 @@ Status PtaServer::SaveDataset(const std::string& name,
     // Build (or fetch) under the shared lock like any query, so the saved
     // bytes can never interleave with an UpdateDataset swap; the file
     // write happens outside it.
-    std::shared_lock<std::shared_mutex> lock(session.dataset_->mu);
+    ReaderMutexLock lock(&session.dataset_->mu);
     auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
     if (!plan.ok()) return plan.status();
     auto index = internal::IndexCacheGetOrBuild(*plan, nullptr);
@@ -277,24 +264,30 @@ Result<PtaSession> PtaServer::WarmStart(const std::string& name,
   auto handle = Find(name);
   PtaSession session(this, std::move(handle), ItaSpec{}, weights);
 
-  std::shared_lock<std::shared_mutex> lock(session.dataset_->mu);
-  auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
-  if (!plan.ok()) {
-    lock.unlock();
-    DropDataset(name);
-    return plan.status();
+  Status failure;
+  {
+    ReaderMutexLock lock(&session.dataset_->mu);
+    auto plan = session.MakeQuery().Budget(Budget::Size(1)).Plan();
+    if (plan.ok()) {
+      // Seed the cache under the fingerprint a session query computes
+      // *now* — PlanFingerprint reads the address's current generation
+      // tag, so the warmed entry obeys the same invalidation contract as
+      // a built one, and noting the fingerprint keeps kAuto's re-budget
+      // routing consistent.
+      const uint64_t fingerprint = PlanFingerprint(*plan);
+      internal::IndexCacheInsert(
+          fingerprint, session.dataset_->address(),
+          std::make_shared<const PtaIndex>(std::move(*loaded)));
+      internal::IndexCacheNoteFingerprint(fingerprint);
+      return session;
+    }
+    failure = plan.status();
   }
-  // Seed the cache under the fingerprint a session query computes *now* —
-  // PlanFingerprint reads the address's current generation tag, so the
-  // warmed entry obeys the same invalidation contract as a built one, and
-  // noting the fingerprint keeps kAuto's re-budget routing consistent.
-  const uint64_t fingerprint = PlanFingerprint(*plan);
-  internal::IndexCacheInsert(
-      fingerprint, session.dataset_->address(),
-      std::make_shared<const PtaIndex>(std::move(*loaded)));
-  internal::IndexCacheNoteFingerprint(fingerprint);
-  lock.unlock();
-  return session;
+  // Roll back the registration added above; it cannot fail (the name was
+  // just inserted and nothing else removes it), so the status is
+  // intentionally discarded.
+  PTA_IGNORE_STATUS(DropDataset(name));
+  return failure;
 }
 
 Result<std::future<Result<PtaResult>>> PtaServer::Submit(PtaSession session,
@@ -329,7 +322,7 @@ PtaServerStats PtaServer::stats() const {
   out.completed = completed_.load(std::memory_order_relaxed);
   out.failed = failed_.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
+    MutexLock lock(&registry_mu_);
     out.datasets = datasets_.size();
   }
   out.pending = pool_.pending();

@@ -37,7 +37,6 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -50,14 +49,13 @@
 #include "pta/plan.h"
 #include "pta/query.h"
 #include "pta/segment.h"
+#include "serve/dataset.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace pta {
-
-namespace serve_internal {
-struct Dataset;  // defined in server.cc; sessions hold shared ownership
-}  // namespace serve_internal
 
 /// \brief Tuning of a PtaServer.
 struct ServeOptions {
@@ -115,16 +113,18 @@ class PtaSession {
   /// Answers one budget, synchronously on the calling thread. The
   /// re-budgeting idiom: the first request (per dataset generation) builds
   /// the index, every further budget is an O(k) frontier cut.
-  Result<PtaResult> Cut(Budget budget, PtaRunStats* stats = nullptr) const;
+  [[nodiscard]] Result<PtaResult> Cut(Budget budget,
+                                      PtaRunStats* stats = nullptr) const;
 
   /// Submits the cut to the server's worker pool. Sheds immediately with
   /// Status::ResourceExhausted when max_pending requests are already in
   /// flight; an admitted request reports its outcome through the future.
-  Result<std::future<Result<PtaResult>>> CutAsync(Budget budget) const;
+  [[nodiscard]] Result<std::future<Result<PtaResult>>> CutAsync(
+      Budget budget) const;
 
   /// A whole zoom ladder — all cuts of a strictly ascending size vector —
   /// in one coarse-to-fine walk of the shared index (MultiBudgetCut).
-  Result<std::vector<Reduction>> ZoomLadder(
+  [[nodiscard]] Result<std::vector<Reduction>> ZoomLadder(
       const std::vector<size_t>& sizes) const;
 
   /// Runs the granularity advisor (advisor/advisor.h) against the
@@ -133,7 +133,8 @@ class PtaSession {
   /// Like Cut, the first call per dataset generation pays the build; every
   /// further recommendation is O(k log k). Holdout criteria materialize
   /// candidate cuts, so their callback runs under the shared lock too.
-  Result<advisor::Advice> Advise(const advisor::AdvisorOptions& options) const;
+  [[nodiscard]] Result<advisor::Advice> Advise(
+      const advisor::AdvisorOptions& options) const;
 
   /// The served dataset's registry name; empty for an empty session.
   const std::string& dataset() const;
@@ -145,8 +146,9 @@ class PtaSession {
              std::vector<double> weights);
 
   /// The session's query template: input binding + spec + weights +
-  /// Engine::kIndexed. Caller must hold the dataset's lock (shared).
-  PtaQuery MakeQuery() const;
+  /// Engine::kIndexed. Caller must hold the dataset's lock (shared) —
+  /// machine-checked under clang via the annotation.
+  PtaQuery MakeQuery() const PTA_REQUIRES_SHARED(dataset_->mu);
 
   PtaServer* server_ = nullptr;
   std::shared_ptr<serve_internal::Dataset> dataset_;
@@ -171,9 +173,9 @@ class PtaServer {
 
   /// Registers a base temporal relation (ITA runs per index build) under a
   /// unique non-empty name. InvalidArgument on a duplicate or empty name.
-  Status AddDataset(std::string name, TemporalRelation data);
+  [[nodiscard]] Status AddDataset(std::string name, TemporalRelation data);
   /// Registers an already-aggregated sequential relation (ITA skipped).
-  Status AddDataset(std::string name, SequentialRelation data);
+  [[nodiscard]] Status AddDataset(std::string name, SequentialRelation data);
 
   /// Replaces a dataset's contents in place — same address, new data —
   /// excluding concurrent queries for the swap's duration, then bumps the
@@ -181,32 +183,36 @@ class PtaServer {
   /// unreachable. The input kind must match the registration
   /// (temporal/sequential). Open sessions keep working and rebuild the
   /// index on their next request.
-  Status UpdateDataset(const std::string& name, TemporalRelation data);
-  Status UpdateDataset(const std::string& name, SequentialRelation data);
+  [[nodiscard]] Status UpdateDataset(const std::string& name,
+                                     TemporalRelation data);
+  [[nodiscard]] Status UpdateDataset(const std::string& name,
+                                     SequentialRelation data);
 
   /// Unregisters a dataset: invalidates its cache entries, removes the pin,
   /// and forgets the name. Sessions already open keep shared ownership of
   /// the data and continue to work; new OpenSession calls fail NotFound.
-  Status DropDataset(const std::string& name);
+  [[nodiscard]] Status DropDataset(const std::string& name);
 
   /// Pins (or unpins) the dataset's cache entries: pinned indexes are
   /// exempt from the cache's entry/byte eviction — the hot-set contract of
   /// a serving process. Invalidation still drops them.
-  Status PinDataset(const std::string& name, bool pinned);
+  [[nodiscard]] Status PinDataset(const std::string& name, bool pinned);
 
   /// Opens a session: validates the spec against the dataset eagerly (so
   /// admission-time requests cannot fail on a malformed shape) and returns
   /// the immutable handle. NotFound for an unknown dataset.
-  Result<PtaSession> OpenSession(const std::string& dataset, ItaSpec spec,
-                                 std::vector<double> weights = {});
+  [[nodiscard]] Result<PtaSession> OpenSession(
+      const std::string& dataset, ItaSpec spec,
+      std::vector<double> weights = {});
 
   /// Persists the dataset's index for the given query shape (the same
   /// spec/weights a session would carry) to `path` via pta/index_io.h:
   /// builds the index — or reuses the cached one — under the dataset's
   /// shared lock, then writes the serialized bytes. NotFound for an
   /// unknown dataset, IoError when the file cannot be written.
-  Status SaveDataset(const std::string& name, const std::string& path,
-                     ItaSpec spec = {}, std::vector<double> weights = {});
+  [[nodiscard]] Status SaveDataset(const std::string& name,
+                                   const std::string& path, ItaSpec spec = {},
+                                   std::vector<double> weights = {});
 
   /// The warm-start path: loads a persisted index from `path`, registers
   /// its recorded input as a new sequential dataset under `name`, seeds
@@ -218,8 +224,8 @@ class PtaServer {
   /// cache entry. Fails InvalidArgument on malformed index bytes, on a
   /// duplicate name, or on a gap-merging index (serve sessions never use
   /// merge_across_gaps, so such an index could never be served).
-  Result<PtaSession> WarmStart(const std::string& name,
-                               const std::string& path);
+  [[nodiscard]] Result<PtaSession> WarmStart(const std::string& name,
+                                             const std::string& path);
 
   PtaServerStats stats() const;
   const ServeOptions& options() const { return options_; }
@@ -227,14 +233,15 @@ class PtaServer {
  private:
   friend class PtaSession;
 
-  std::shared_ptr<serve_internal::Dataset> Find(const std::string& name) const;
-  Result<std::future<Result<PtaResult>>> Submit(PtaSession session,
-                                                Budget budget);
+  std::shared_ptr<serve_internal::Dataset> Find(const std::string& name) const
+      PTA_EXCLUDES(registry_mu_);
+  [[nodiscard]] Result<std::future<Result<PtaResult>>> Submit(
+      PtaSession session, Budget budget);
 
   ServeOptions options_;
-  mutable std::mutex registry_mu_;
+  mutable Mutex registry_mu_;
   std::unordered_map<std::string, std::shared_ptr<serve_internal::Dataset>>
-      datasets_;
+      datasets_ PTA_GUARDED_BY(registry_mu_);
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> shed_{0};
   std::atomic<uint64_t> completed_{0};

@@ -79,10 +79,10 @@ class ShardedStreamingEngine {
   /// returned (lowest shard index wins, deterministically). Not atomic:
   /// rows before the failing one — and sibling shards' whole sub-chunks —
   /// stay ingested; resubmit only corrected data, not the same chunk.
-  Status IngestChunk(const SequentialRelation& chunk);
+  [[nodiscard]] Status IngestChunk(const SequentialRelation& chunk);
 
   /// Advances every shard's watermark (fan-out on the pool).
-  Status AdvanceWatermark(Chronon watermark);
+  [[nodiscard]] Status AdvanceWatermark(Chronon watermark);
 
   /// Drains all shards' emission buffers, gathered in global group order.
   SequentialRelation TakeEmitted();
@@ -91,7 +91,7 @@ class ShardedStreamingEngine {
   SequentialRelation Snapshot() const;
 
   /// Finalizes every shard and gathers the results in global group order.
-  Result<SequentialRelation> Finalize();
+  [[nodiscard]] Result<SequentialRelation> Finalize();
 
   /// Sums over the shard engines.
   size_t live_rows() const;

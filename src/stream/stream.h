@@ -95,14 +95,14 @@ class StreamingPtaEngine {
   /// freely. Segments must not begin before the current watermark.
   /// Fails with FailedPrecondition on ordering violations, after which the
   /// engine state is unchanged (the offending segment is dropped).
-  Status Ingest(const Segment& seg);
+  [[nodiscard]] Status Ingest(const Segment& seg);
 
   /// Ingests every segment of `chunk` in order, then applies the
   /// auto-watermark policy if configured. The chunk's arity must match.
   /// Not atomic: on failure the rows before the offending one stay
   /// ingested (the error message names the failing row's group), so
   /// resubmit only the corrected remainder, not the whole chunk.
-  Status IngestChunk(const SequentialRelation& chunk);
+  [[nodiscard]] Status IngestChunk(const SequentialRelation& chunk);
 
   /// Declares that no future segment will begin before `watermark`. Every
   /// live row that can no longer meet a future arrival (row end + 1 <
@@ -110,7 +110,7 @@ class StreamingPtaEngine {
   /// live) is sealed and moved to the emission buffer. Monotone: a
   /// watermark strictly below the current one fails with InvalidArgument;
   /// re-announcing the current watermark is an idempotent no-op.
-  Status AdvanceWatermark(Chronon watermark);
+  [[nodiscard]] Status AdvanceWatermark(Chronon watermark);
 
   /// The current watermark (minimum begin of any future segment).
   /// kNoWatermark until the first advance.
@@ -134,7 +134,7 @@ class StreamingPtaEngine {
   /// an infeasible budget (c below the live cmin) does not fail — the
   /// drain stops at the cmin. Fails with FailedPrecondition on a second
   /// call or on ingestion after finalization.
-  Result<SequentialRelation> Finalize();
+  [[nodiscard]] Result<SequentialRelation> Finalize();
 
   /// Serializes the complete engine state (options, watermark, Prop. 3
   /// counters, stats, pending emissions, and every live merge chain) into
@@ -151,7 +151,7 @@ class StreamingPtaEngine {
   /// one. Malformed input (truncation, bit flips, bad magic, future
   /// version, structural lies) is rejected as InvalidArgument, never a
   /// crash.
-  static Result<std::unique_ptr<StreamingPtaEngine>> RestoreSnapshot(
+  [[nodiscard]] static Result<std::unique_ptr<StreamingPtaEngine>> RestoreSnapshot(
       std::string_view bytes);
 
   /// Live (unsealed, unfinalized) rows currently held.

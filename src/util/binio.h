@@ -114,25 +114,30 @@ class ByteReader {
 
   size_t remaining() const { return data_.size() - pos_; }
   bool failed() const { return failed_; }
+  /// No read has failed yet. Consult this (or every read's return value,
+  /// which [[nodiscard]] enforces) before trusting parsed values; the
+  /// project linter (scripts/pta_lint.py, rule bytereader-unchecked)
+  /// rejects parses that do neither.
+  bool ok() const { return !failed_; }
 
-  bool U8(uint8_t* v);
-  bool U32(uint32_t* v);
-  bool U64(uint64_t* v);
-  bool I32(int32_t* v);
-  bool I64(int64_t* v);
-  bool F64(double* v);
+  [[nodiscard]] bool U8(uint8_t* v);
+  [[nodiscard]] bool U32(uint32_t* v);
+  [[nodiscard]] bool U64(uint64_t* v);
+  [[nodiscard]] bool I32(int32_t* v);
+  [[nodiscard]] bool I64(int64_t* v);
+  [[nodiscard]] bool F64(double* v);
   /// Reads a u32 length + bytes; the length must fit in the remainder.
-  bool Str(std::string* v);
-  bool F64Array(size_t count, std::vector<double>* out);
-  bool I32Array(size_t count, std::vector<int32_t>* out);
+  [[nodiscard]] bool Str(std::string* v);
+  [[nodiscard]] bool F64Array(size_t count, std::vector<double>* out);
+  [[nodiscard]] bool I32Array(size_t count, std::vector<int32_t>* out);
   /// Consumes a whole fixed-stride section — `count` records of
   /// `bytes_each` bytes — and exposes it as a raw span for a bulk decoder
   /// (LoadLE32/LoadLE64 on *p). Same division-based bounds check as the
   /// array reads, so a hostile count cannot over-read or overflow.
-  bool Section(uint64_t count, size_t bytes_each, const char** p);
+  [[nodiscard]] bool Section(uint64_t count, size_t bytes_each, const char** p);
   /// Validates that `count` elements of `bytes_each` bytes fit in the
   /// remaining buffer (overflow-safe); does not consume anything.
-  bool Fits(uint64_t count, size_t bytes_each) const {
+  [[nodiscard]] bool Fits(uint64_t count, size_t bytes_each) const {
     return !failed_ && bytes_each != 0 && count <= remaining() / bytes_each;
   }
 
@@ -145,9 +150,9 @@ class ByteReader {
 };
 
 /// Reads a whole file into *out; IoError when it cannot be opened or read.
-Status ReadFile(const std::string& path, std::string* out);
+[[nodiscard]] Status ReadFile(const std::string& path, std::string* out);
 /// Writes bytes to a file, replacing it; IoError on failure.
-Status WriteFile(const std::string& path, std::string_view bytes);
+[[nodiscard]] Status WriteFile(const std::string& path, std::string_view bytes);
 
 }  // namespace io
 }  // namespace pta

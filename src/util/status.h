@@ -29,7 +29,13 @@ enum class StatusCode {
 /// A Status is either OK or carries an error code plus a human-readable
 /// message. Use the static constructors, e.g.
 /// `Status::InvalidArgument("c must be >= cmin")`.
-class Status {
+///
+/// The class-level [[nodiscard]] makes silently dropping ANY returned
+/// Status a compile-time warning (an error under scripts/ci.sh --analyze),
+/// at every call site in every translation unit. Where discarding is
+/// intentional, say so with PTA_IGNORE_STATUS(...) so the intent is
+/// auditable.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -75,7 +81,7 @@ class Status {
 /// `value()` / `operator*` only after checking `ok()`; violating this is a
 /// programmer error and aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value (the success path).
   Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
@@ -115,6 +121,13 @@ class Result {
     ::pta::Status _st = (expr);              \
     if (!_st.ok()) return _st;               \
   } while (0)
+
+/// Deliberately discards a Status/Result. The [[nodiscard]] rollout makes
+/// accidental discards a compiler diagnostic; this macro is the audited
+/// opt-out — every use should sit next to a comment saying why the outcome
+/// genuinely does not matter (docs/STATIC_ANALYSIS.md, "Suppression
+/// policy").
+#define PTA_IGNORE_STATUS(expr) static_cast<void>(expr)
 
 }  // namespace pta
 

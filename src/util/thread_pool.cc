@@ -21,7 +21,7 @@ ThreadPool::ThreadPool(size_t num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
   task_ready_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::Submit(std::function<void()> task) {
   PTA_CHECK_MSG(task != nullptr, "cannot submit an empty task");
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PTA_CHECK_MSG(!stop_, "Submit after pool shutdown");
     queue_.push_back(std::move(task));
     ++outstanding_;
@@ -42,7 +42,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_pending) {
   PTA_CHECK_MSG(task != nullptr, "cannot submit an empty task");
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     PTA_CHECK_MSG(!stop_, "TrySubmit after pool shutdown");
     if (max_pending != 0 && outstanding_ >= max_pending) return false;
     queue_.push_back(std::move(task));
@@ -53,13 +53,15 @@ bool ThreadPool::TrySubmit(std::function<void()> task, size_t max_pending) {
 }
 
 size_t ThreadPool::pending() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return outstanding_;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(&mu_);
+  // An explicit loop, not wait(lock, pred): the predicate reads the
+  // guarded counter, so it must live in this (annotated) function scope.
+  while (outstanding_ != 0) all_done_.wait(lock.native());
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -78,15 +80,15 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && queue_.empty()) task_ready_.wait(lock.native());
       if (queue_.empty()) return;  // stop_ set and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       if (--outstanding_ == 0) all_done_.notify_all();
     }
   }

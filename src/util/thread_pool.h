@@ -13,9 +13,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace pta {
 
@@ -24,7 +26,9 @@ namespace pta {
 /// The pool is created with its final thread count and joins all workers on
 /// destruction. There is deliberately no future/return-value plumbing: the
 /// parallel engine writes results into caller-owned per-shard slots, which
-/// keeps the synchronization surface to the queue mutex alone.
+/// keeps the synchronization surface to the queue mutex alone — a contract
+/// the thread-safety annotations below make machine-checkable under clang
+/// (scripts/ci.sh --analyze).
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means DefaultThreadCount(). A pool of
@@ -39,7 +43,7 @@ class ThreadPool {
   size_t num_threads() const { return num_threads_; }
 
   /// Enqueues one task. Must not be called concurrently with destruction.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) PTA_EXCLUDES(mu_);
 
   /// Enqueues `task` only when fewer than `max_pending` tasks are queued or
   /// running (0 means no bound); returns false — dropping the task — when
@@ -47,34 +51,37 @@ class ThreadPool {
   /// happen atomically under the queue lock, so concurrent TrySubmit calls
   /// never overshoot the bound: this is the shedding primitive of the
   /// serving layer's backpressure (src/serve/).
-  bool TrySubmit(std::function<void()> task, size_t max_pending);
+  [[nodiscard]] bool TrySubmit(std::function<void()> task, size_t max_pending)
+      PTA_EXCLUDES(mu_);
 
   /// Tasks queued plus currently running — the admission-control load
   /// signal. A snapshot: concurrent Submit/completion can change it before
   /// the caller acts on the value.
-  size_t pending() const;
+  size_t pending() const PTA_EXCLUDES(mu_);
 
   /// Blocks until every task submitted so far has completed.
-  void Wait();
+  void Wait() PTA_EXCLUDES(mu_);
 
   /// Runs fn(0) ... fn(n-1), returning when all calls completed. With one
   /// thread (or n <= 1) the calls happen inline, in index order.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      PTA_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency(), at least 1.
   static size_t DefaultThreadCount();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() PTA_EXCLUDES(mu_);
 
   size_t num_threads_;
   std::vector<std::thread> workers_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable task_ready_;   // signalled on Submit / stop
   std::condition_variable all_done_;     // signalled when outstanding_ hits 0
-  std::deque<std::function<void()>> queue_;
-  size_t outstanding_ = 0;  // queued + currently running tasks
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ PTA_GUARDED_BY(mu_);
+  /// Queued + currently running tasks.
+  size_t outstanding_ PTA_GUARDED_BY(mu_) = 0;
+  bool stop_ PTA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace pta

@@ -150,6 +150,7 @@ class ItaDifferential : public ::testing::TestWithParam<Workload> {
   }
 
   bool ExactSegmentsExpected() const {
+    // pta-lint: allow(float-equality) -- test parameter set verbatim
     return GetParam().value_repeat == 0.0;
   }
 };

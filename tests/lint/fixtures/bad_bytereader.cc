@@ -1,0 +1,28 @@
+// Known-bad fixture for the `bytereader-unchecked` rule: ByteReader reads
+// issued as bare statements, so their bool results are silently discarded
+// and a truncated buffer would go unnoticed. NOT compiled; only linted.
+#include <cstdint>
+#include <string_view>
+
+#include "util/binio.h"
+
+namespace fixture {
+
+uint32_t ParseHeader(std::string_view bytes) {
+  pta::io::ByteReader reader(bytes);
+  uint32_t version = 0;
+  uint32_t count = 0;
+  reader.U32(&version);  // line 15: discarded result
+  reader.U32(&count);    // line 16: discarded result
+  return version + count;
+}
+
+// Checked reads must NOT be flagged.
+bool ParseChecked(std::string_view bytes) {
+  pta::io::ByteReader reader(bytes);
+  uint32_t version = 0;
+  if (!reader.U32(&version)) return false;
+  return reader.ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Known-bad fixture for the `float-equality` rule: raw ==/!= against
+// floating-point literals, in both operand orders and with scientific
+// notation. NOT compiled; only linted.
+namespace fixture {
+
+bool Converged(double error) {
+  return error == 0.0;  // line 7: left operand comparison
+}
+
+bool NotAtCap(double fraction) {
+  return 1.0 != fraction;  // line 11: right operand comparison
+}
+
+bool TinyResidual(double residual) {
+  return residual == 1e-12;  // line 15: scientific notation
+}
+
+// Integer equality must NOT be flagged.
+bool SameCount(int a, int b) { return a == b; }
+
+}  // namespace fixture

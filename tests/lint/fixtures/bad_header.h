@@ -1,0 +1,15 @@
+// Known-bad fixture for the `header-hygiene` rule: the include guard does
+// not follow the PTA_<PATH>_H_ convention, and the header drags a whole
+// namespace into every includer. NOT compiled; only linted.
+#ifndef WRONG_GUARD_NAME
+#define WRONG_GUARD_NAME
+
+#include <string>
+
+using namespace std;  // line 9: leaks into every includer
+
+namespace fixture {
+inline string Greet() { return "hi"; }
+}  // namespace fixture
+
+#endif  // WRONG_GUARD_NAME

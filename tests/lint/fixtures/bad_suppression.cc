@@ -1,0 +1,11 @@
+// Known-bad fixture for the `suppression-format` rule: an allow() with no
+// rationale does not suppress (the finding still fires) and is reported
+// itself. NOT compiled; only linted.
+namespace fixture {
+
+bool Exact(double x) {
+  // pta-lint: allow(float-equality)
+  return x == 1.0;  // line 8: still reported — the allow above is invalid
+}
+
+}  // namespace fixture

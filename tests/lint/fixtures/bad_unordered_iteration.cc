@@ -1,0 +1,32 @@
+// Known-bad fixture for the `unordered-iteration` rule: both iteration
+// shapes the rule recognizes — a range-for over an unordered container and
+// an explicit begin() walk. NOT compiled; only linted.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+std::string SerializeGroups(
+    const std::unordered_map<std::string, int>& input) {
+  std::unordered_map<std::string, int> counts = input;
+  std::string out;
+  for (const auto& [key, value] : counts) {  // line 15: nondeterministic
+    out += key;
+    out += ':';
+    out += std::to_string(value);
+  }
+  return out;
+}
+
+int SumViaBegin() {
+  std::unordered_set<int> ids{1, 2, 3};
+  int total = 0;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // line 26
+    total += *it;
+  }
+  return total;
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// Clean fixture: exercises the patterns near every rule the right way —
+// the collect-then-sort idiom (with its suppressed collection pass), a
+// tolerance comparison, a properly suppressed exact sentinel, checked
+// ByteReader reads. The linter must report nothing here. NOT compiled;
+// only linted.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/binio.h"
+
+namespace fixture {
+
+std::string SerializeSorted(
+    const std::unordered_map<std::string, int>& input) {
+  std::unordered_map<std::string, int> counts = input;
+  std::vector<std::string> keys;
+  keys.reserve(counts.size());
+  // pta-lint: allow(unordered-iteration) -- collect only; sorted below
+  for (const auto& [key, value] : counts) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  std::string out;
+  for (const std::string& key : keys) out += key;
+  return out;
+}
+
+bool Near(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+bool AtSentinel(double fraction) {
+  // pta-lint: allow(float-equality) -- exact API sentinel, never computed
+  return fraction == 1.0;
+}
+
+bool ParseChecked(std::string_view bytes) {
+  pta::io::ByteReader reader(bytes);
+  uint32_t version = 0;
+  if (!reader.U32(&version)) return false;
+  return reader.ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Clean header fixture: correct PTA_<PATH>_H_ include guard, no `using
+// namespace`. The linter must report nothing here. NOT compiled; only
+// linted.
+#ifndef PTA_CLEAN_H_
+#define PTA_CLEAN_H_
+
+#include <string>
+
+namespace fixture {
+inline std::string Greet() { return "hi"; }
+}  // namespace fixture
+
+#endif  // PTA_CLEAN_H_

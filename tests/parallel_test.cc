@@ -439,6 +439,7 @@ TEST(ParallelReduceTest, ErrorBoundedRespectsGlobalBudget) {
     EXPECT_TRUE(red->relation.Validate().ok());
     // Per-shard budgets eps * Emax_s sum to the global eps * Emax.
     EXPECT_LE(red->error, eps * emax + 1e-9);
+    // pta-lint: allow(float-equality) -- eps is an exact loop literal
     if (eps == 0.0) ExpectExactlyEqual(red->relation, rel);
   }
 }

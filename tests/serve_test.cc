@@ -303,6 +303,59 @@ TEST(PtaServerTest, UpdateDatasetServesFreshBytes) {
   PtaIndexCacheClear();
 }
 
+// Regression for a lock-discipline hole the thread-safety annotation
+// rollout exposed (docs/STATIC_ANALYSIS.md): UpdateDataset used to read
+// the dataset's PTA_GUARDED_BY(mu) optionals — the temporal/sequential
+// kind check — BEFORE acquiring the writer lock, leaning on an
+// undocumented "engagement never changes" argument that the analysis
+// rightly rejects. The check now runs under the exclusive lock. This
+// hammers the exact interleaving: one thread swapping contents in place,
+// one thread probing with the WRONG input kind (the unlocked read path),
+// readers cutting throughout. TSan (scripts/ci.sh --tsan, label `serve`)
+// would flag a regression; the assertions pin the kind-check semantics.
+TEST(PtaServerTest, UpdateDatasetKindCheckHoldsWriterLock) {
+  PtaIndexCacheClear();
+  PtaServer server;
+  ASSERT_TRUE(server.AddDataset("seq", MakeSequential(3)).ok());
+  auto session = server.OpenSession("seq", ItaSpec{});
+  ASSERT_TRUE(session.ok());
+
+  constexpr int kSwaps = 50;
+  std::atomic<bool> stop{false};
+  std::thread updater([&] {
+    for (int i = 0; i < kSwaps; ++i) {
+      auto st = server.UpdateDataset("seq", MakeSequential(3, 1.0 + i));
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+    stop = true;
+  });
+  std::thread wrong_kind([&] {
+    while (!stop) {
+      // Must always fail InvalidArgument — never succeed, never race the
+      // in-place swap above.
+      auto st = server.UpdateDataset("seq", MakeFleet());
+      EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << st.ToString();
+    }
+  });
+  std::thread reader([&] {
+    while (!stop) {
+      auto cut = session->Cut(Budget::Size(16));
+      EXPECT_TRUE(cut.ok()) << cut.status().ToString();
+    }
+  });
+  updater.join();
+  wrong_kind.join();
+  reader.join();
+
+  // The last swap's contents are what the session serves.
+  auto served = session->Cut(Budget::Size(16));
+  ASSERT_TRUE(served.ok());
+  auto gms = GmsReduceToSize(MakeSequential(3, 1.0 + (kSwaps - 1)), 16);
+  ASSERT_TRUE(gms.ok());
+  ExpectByteIdentical(served->relation, gms->relation);
+  PtaIndexCacheClear();
+}
+
 TEST(PtaServerTest, OpenSessionsSurviveDrop) {
   PtaIndexCacheClear();
   PtaServer server;
